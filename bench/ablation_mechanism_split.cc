@@ -1,0 +1,37 @@
+// Ablation: Variable AI vs Sampling Frequency in isolation and combined.
+//
+// The paper always evaluates VAI+SF together; this ablation splits them to
+// show each mechanism's individual contribution to convergence (VAI refills
+// bandwidth after joins; SF makes fast flows decrease more often).
+//
+// Flags: --senders N, --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf("=== Ablation: mechanism split (%d-1 incast) ===\n", senders);
+
+  const exp::Variant variants[] = {
+      exp::Variant::kHpcc,     exp::Variant::kHpccVai,
+      exp::Variant::kHpccSf,   exp::Variant::kHpccVaiSf,
+      exp::Variant::kSwift,    exp::Variant::kSwiftVai,
+      exp::Variant::kSwiftSf,  exp::Variant::kSwiftVaiSf,
+  };
+
+  for (const exp::Variant v : variants) {
+    exp::IncastConfig config;
+    config.variant = v;
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    bench::print_incast_summary(run_incast(config), variant_name(v));
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation: the Sampling Frequency value `s` (ACKs per committed decrease).
+//
+// The paper picks s = 30.  Smaller s reacts to more congestion signals
+// (better fairness and lower queues, at some bandwidth cost); larger s
+// approaches the once-per-RTT baseline.  Sweeps s for both protocols on the
+// 16-to-1 incast.
+//
+// Flags: --senders N, --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cc/hpcc.h"
+#include "cc/swift.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf("=== Ablation: Sampling Frequency value, %d-1 incast ===\n",
+              senders);
+
+  const int sweep[] = {5, 15, 30, 60, 120};
+
+  std::printf("\n-- HPCC VAI + SF(s) --\n");
+  for (const int s : sweep) {
+    exp::IncastConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    config.custom_cc = [s](const net::PathInfo& path) {
+      cc::HpccParams p;
+      p.sampling_freq = s;
+      p.vai = cc::hpcc_paper_vai(path.bottleneck *
+                                 static_cast<double>(path.base_rtt));
+      return std::make_unique<cc::Hpcc>(p);
+    };
+    char label[32];
+    std::snprintf(label, sizeof(label), "s=%d%s", s, s == 30 ? " (paper)" : "");
+    bench::print_incast_summary(run_incast(config), label);
+  }
+
+  std::printf("\n-- Swift VAI + SF(s), no FBS --\n");
+  for (const int s : sweep) {
+    exp::IncastConfig config;
+    config.variant = exp::Variant::kSwiftVaiSf;
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    config.custom_cc = [s](const net::PathInfo& path) {
+      cc::SwiftParams p;
+      p.sampling_freq = s;
+      p.always_ai = true;
+      p.use_fbs = false;
+      p.fs_max_cwnd = 50.0;
+      const sim::Time target =
+          p.base_target +
+          cc::Swift::scaling_hops(path.hops) * p.per_hop_scaling;
+      const auto min_bdp_delay = static_cast<sim::Time>(
+          path.bottleneck * static_cast<double>(path.base_rtt) /
+          path.bottleneck);
+      p.vai = cc::swift_paper_vai(target, path.base_rtt, min_bdp_delay);
+      return std::make_unique<cc::Swift>(p);
+    };
+    char label[32];
+    std::snprintf(label, sizeof(label), "s=%d%s", s, s == 30 ? " (paper)" : "");
+    bench::print_incast_summary(run_incast(config), label);
+  }
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Ablation: the Variable-AI dampener (Algorithm 1's feedback breaker).
+//
+// Sweeps the dampener constant (higher = weaker damping) plus a disabled
+// configuration on the 96-to-1 incast, where the paper says the dampener
+// matters most ("in the case with many concurrent senders, dampener
+// increases quickly so the elevated AI creates less congestion").  Expected
+// shape: weak/no damping converges fastest but sustains visibly larger
+// queues; the paper's constant (8) balances the two.
+//
+// Flags: --senders N (default 96), --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cc/hpcc.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 96));
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf("=== Ablation: VAI dampener constant, HPCC VAI SF, %d-1 ===\n",
+              senders);
+
+  struct Setting {
+    const char* label;
+    double dampener_constant;
+    bool dampener_off;
+  };
+  const Setting settings[] = {
+      {"dampener_c=2 (strong)", 2.0, false},
+      {"dampener_c=8 (paper)", 8.0, false},
+      {"dampener_c=32 (weak)", 32.0, false},
+      {"dampener off", 0.0, true},
+  };
+
+  for (const Setting& s : settings) {
+    exp::IncastConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;  // labelling + defaults
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    config.custom_cc = [&s](const net::PathInfo& path) {
+      cc::HpccParams p;
+      p.sampling_freq = exp::CcFactory::kPaperSamplingFreq;
+      p.vai = cc::hpcc_paper_vai(path.bottleneck *
+                                 static_cast<double>(path.base_rtt));
+      if (s.dampener_off) {
+        // An enormous constant makes the divisor ~1: damping disabled.
+        p.vai.dampener_constant = 1e12;
+      } else {
+        p.vai.dampener_constant = s.dampener_constant;
+      }
+      return std::make_unique<cc::Hpcc>(p);
+    };
+    bench::print_incast_summary(run_incast(config), s.label);
+  }
+  return 0;
+}

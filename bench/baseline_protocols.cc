@@ -1,0 +1,45 @@
+// Section II baseline comparison: all four sender-side reaction protocols
+// (HPCC, Swift, DCQCN, TIMELY) on the 16-to-1 staggered incast.
+//
+// Context for the paper's argument: DCQCN's probabilistic RED/ECN feedback
+// makes it naturally fairer than the deterministic-feedback protocols
+// (Section III-C), at the cost of much larger queues; TIMELY's hyper-AI
+// recovers bandwidth faster than Swift's single constant AI (the fix the
+// paper suggests for Swift's Hadoop median slowdown in Section VI-B).
+//
+// Flags: --senders N, --seed N, --convergence (print full summaries).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/convergence.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf("=== Baseline protocols, %d-1 staggered incast ===\n", senders);
+
+  for (const exp::Variant v :
+       {exp::Variant::kHpcc, exp::Variant::kSwift, exp::Variant::kDcqcn,
+        exp::Variant::kTimely, exp::Variant::kDctcp, exp::Variant::kHpccVaiSf,
+        exp::Variant::kSwiftVaiSf}) {
+    exp::IncastConfig config;
+    config.variant = v;
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    const exp::IncastResult r = run_incast(config);
+    bench::print_incast_summary(r, variant_name(v));
+    const core::ConvergenceSummary c = r.convergence(0.9);
+    std::printf(
+        "    convergence: first_reach=%.1fus unfairness_debt=%.1f "
+        "mean_jain=%.3f worst=%.3f\n",
+        c.first_reach_time < 0 ? -1.0
+                               : static_cast<double>(c.first_reach_time) / 1e3,
+        c.unfairness_integral_ns / 1e3, c.mean_index, c.worst_index);
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Shared helpers for the figure-reproduction bench binaries.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "experiments/incast.h"
+#include "stats/timeseries.h"
+
+namespace fastcc::bench {
+
+/// True when `--name` appears on the command line.
+inline bool has_flag(int argc, char** argv, const char* name) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return true;
+  }
+  return false;
+}
+
+/// Value of `--name <value>` or the default.
+inline long long flag_value(int argc, char** argv, const char* name,
+                            long long def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return std::atoll(argv[i + 1]);
+  }
+  return def;
+}
+
+/// Prints a time series as CSV, downsampled to at most `max_rows` rows so
+/// long runs stay readable in terminal output.
+inline void print_series(const char* header, const stats::TimeSeries& series,
+                         std::size_t max_rows = 80,
+                         double value_divisor = 1.0) {
+  std::printf("%s\n", header);
+  const auto& pts = series.points();
+  const std::size_t stride = pts.size() > max_rows ? pts.size() / max_rows : 1;
+  for (std::size_t i = 0; i < pts.size(); i += stride) {
+    std::printf("%.1f,%.4f\n", static_cast<double>(pts[i].t) / 1e3,
+                pts[i].value / value_divisor);
+  }
+}
+
+/// One-line summary of an incast run (settle time / spread / queue stats).
+inline void print_incast_summary(const exp::IncastResult& r,
+                                 const char* label) {
+  const sim::Time settle = r.jain_settle_time(0.9);
+  std::printf(
+      "%-22s jain_settle90_us=%8.1f finish_spread_us=%8.1f "
+      "max_queue_kb=%8.1f steady_queue_kb=%7.1f util=%5.3f "
+      "last_finish_us=%8.1f drops=%llu\n",
+      label, settle < 0 ? -1.0 : static_cast<double>(settle) / 1e3,
+      static_cast<double>(r.finish_spread()) / 1e3,
+      r.queue_bytes.max_value() / 1e3,
+      r.queue_bytes.mean_after(r.completion_time / 2) / 1e3,
+      r.mean_utilization(),
+      static_cast<double>(r.completion_time) / 1e3,
+      static_cast<unsigned long long>(r.drops));
+}
+
+}  // namespace fastcc::bench

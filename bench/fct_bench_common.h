@@ -1,0 +1,109 @@
+// Shared driver for the datacenter FCT-slowdown benches (Figures 10-13).
+#pragma once
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "experiments/datacenter.h"
+#include "stats/fct.h"
+#include "stats/percentile.h"
+
+namespace fastcc::bench {
+
+struct FctBenchOptions {
+  bool full_scale = false;       ///< --full: paper topology (320 hosts).
+  sim::Time duration = 0;        ///< Arrival window; 0 = scale default.
+  double load = 0.5;
+  int groups = 20;               ///< Flow-size groups per table.
+  std::uint64_t seed = 1;
+};
+
+inline FctBenchOptions parse_fct_options(int argc, char** argv) {
+  FctBenchOptions opt;
+  opt.full_scale = has_flag(argc, argv, "--full");
+  opt.duration = flag_value(argc, argv, "--duration-us",
+                            opt.full_scale ? 50'000 : 2'000) *
+                 sim::kMicrosecond;
+  opt.load = static_cast<double>(flag_value(argc, argv, "--load-pct", 50)) / 100.0;
+  opt.groups = static_cast<int>(flag_value(argc, argv, "--groups", opt.full_scale ? 100 : 20));
+  opt.seed = static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1));
+  return opt;
+}
+
+/// Runs the four paper variants over the given workload mix and prints the
+/// p99.9 and median slowdown-vs-size tables plus the paper's headline ratio
+/// (baseline tail / VAI-SF tail for >1 MB flows).
+inline void run_fct_bench(const char* title,
+                          const std::vector<workload::TrafficComponent>& mix,
+                          const FctBenchOptions& opt) {
+  const exp::Variant variants[] = {
+      exp::Variant::kHpcc, exp::Variant::kHpccVaiSf, exp::Variant::kSwift,
+      exp::Variant::kSwiftVaiSf};
+
+  std::printf("=== %s ===\n", title);
+  std::printf("topology: %s fat-tree, load %.0f%%, arrivals over %lld us\n",
+              opt.full_scale ? "full-scale (320-host)" : "scaled (32-host)",
+              opt.load * 100.0,
+              static_cast<long long>(opt.duration / sim::kMicrosecond));
+
+  std::vector<std::vector<stats::FlowRecord>> all_flows;
+  for (const exp::Variant v : variants) {
+    exp::DatacenterConfig config;
+    config.variant = v;
+    config.topo = opt.full_scale ? topo::full_scale_fat_tree()
+                                 : topo::scaled_fat_tree();
+    config.components = mix;
+    config.load = opt.load;
+    config.generate_duration = opt.duration;
+    config.seed = opt.seed;
+    const exp::DatacenterResult r = run_datacenter(config);
+    std::printf("%-14s flows=%zu unfinished=%zu drops=%llu events=%llu\n",
+                variant_name(v), r.flows.size(), r.unfinished,
+                static_cast<unsigned long long>(r.drops),
+                static_cast<unsigned long long>(r.events_executed));
+    all_flows.push_back(r.flows);
+  }
+
+  for (const double pct : {99.9, 50.0}) {
+    std::printf("\n-- %s FCT slowdown vs flow size (p%.1f) --\n", title, pct);
+    std::printf("group_max_kb");
+    for (const exp::Variant v : variants) std::printf(",%s", variant_name(v));
+    std::printf("\n");
+    std::vector<std::vector<stats::SlowdownRow>> tables;
+    for (const auto& flows : all_flows) {
+      tables.push_back(stats::slowdown_by_size(flows, opt.groups, pct));
+    }
+    const std::size_t rows = tables[0].size();
+    for (std::size_t i = 0; i < rows; ++i) {
+      std::printf("%.1f", static_cast<double>(tables[0][i].max_size_bytes) / 1000.0);
+      for (const auto& table : tables) {
+        if (i < table.size()) {
+          std::printf(",%.2f", table[i].slowdown);
+        } else {
+          std::printf(",");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  // Headline claim: tail slowdown of long (>1 MB) flows, baseline vs VAI SF.
+  std::printf("\n-- long-flow (>1MB) p99.9 slowdown --\n");
+  double long_tail[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4; ++i) {
+    stats::PercentileEstimator est;
+    for (const auto& f : all_flows[i]) {
+      if (f.size_bytes > 1'000'000) est.add(f.slowdown());
+    }
+    long_tail[i] = est.empty() ? -1.0 : est.p999();
+    std::printf("%-14s %.2f (%zu long flows)\n", variant_name(variants[i]),
+                long_tail[i], est.count());
+  }
+  if (long_tail[1] > 0 && long_tail[3] > 0) {
+    std::printf("tail reduction: HPCC %.2fx, Swift %.2fx\n",
+                long_tail[0] / long_tail[1], long_tail[2] / long_tail[3]);
+  }
+}
+
+}  // namespace fastcc::bench

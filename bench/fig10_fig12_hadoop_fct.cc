@@ -1,0 +1,23 @@
+// Figures 10 and 12: FCT slowdown vs flow size under the Facebook Hadoop
+// trace on the fat-tree — the 99.9th percentile (Fig. 10) and the median
+// (Fig. 12), for HPCC / Swift with and without VAI SF.
+//
+// Paper shape to reproduce: small flows stay near the ideal; above ~1 MB the
+// baselines' tail slowdown blows up (20-40x in the paper) while VAI SF
+// roughly halves it (10-15x); medians are essentially unaffected.
+//
+// The default run is a scaled configuration (32-host fat-tree, 1 ms arrival
+// window) sized for a single-core CI budget; pass --full for the paper's
+// 320-host / 50 ms setup (hours of CPU).  Flags: --full, --duration-us N,
+// --load-pct N, --groups N, --seed N.
+#include "fct_bench_common.h"
+#include "workload/distributions.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const bench::FctBenchOptions opt = bench::parse_fct_options(argc, argv);
+  bench::run_fct_bench("Figures 10 & 12: Hadoop traffic",
+                       {{&workload::hadoop_cdf(), 1.0}}, opt);
+  return 0;
+}

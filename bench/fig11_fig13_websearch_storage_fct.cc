@@ -1,0 +1,24 @@
+// Figures 11 and 13: FCT slowdown vs flow size under the shared-cluster mix
+// (Microsoft WebSearch + Alibaba storage, each contributing half the load)
+// on the fat-tree — the 99.9th percentile (Fig. 11) and the median
+// (Fig. 13).
+//
+// Paper shape to reproduce: the slowdown of >1 MB flows grows to several
+// times that of small flows under the baselines, and stays several times
+// lower with VAI SF; medians are essentially unchanged.
+//
+// Flags: --full, --duration-us N, --load-pct N, --groups N, --seed N
+// (see fig10_fig12_hadoop_fct for defaults).
+#include "fct_bench_common.h"
+#include "workload/distributions.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const bench::FctBenchOptions opt = bench::parse_fct_options(argc, argv);
+  bench::run_fct_bench(
+      "Figures 11 & 13: WebSearch + storage mix",
+      {{&workload::websearch_cdf(), 0.5}, {&workload::storage_cdf(), 0.5}},
+      opt);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Figure 1 (a-d): Jain fairness index and bottleneck queue depth over time
+// during a 16-to-1 staggered incast, for HPCC and Swift with their default,
+// 1 Gbps-AI, and probabilistic-feedback baselines.
+//
+// Paper shape to reproduce: default HPCC/Swift take several hundred
+// microseconds to approach a Jain index of 1; the 1 Gbps and probabilistic
+// variants converge much faster but sustain larger queue oscillations.
+//
+// Flags: --senders N (default 16), --flow-kb N (default 1000), --seed N,
+//        --series (also dump the full CSV series).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const long long flow_kb = bench::flag_value(argc, argv, "--flow-kb", 1000);
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+  const bool series = bench::has_flag(argc, argv, "--series");
+
+  std::printf(
+      "=== Figure 1: %d-1 incast fairness & queue depth (baselines) ===\n",
+      senders);
+
+  const exp::Variant variants[] = {
+      exp::Variant::kHpcc,     exp::Variant::kHpcc1G,
+      exp::Variant::kHpccProb, exp::Variant::kSwift,
+      exp::Variant::kSwift1G,  exp::Variant::kSwiftProb,
+  };
+
+  std::vector<exp::IncastResult> results;
+  for (const exp::Variant v : variants) {
+    exp::IncastConfig config;
+    config.variant = v;
+    config.pattern.senders = senders;
+    config.pattern.flow_bytes = static_cast<std::uint64_t>(flow_kb) * 1000;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    results.push_back(run_incast(config));
+    bench::print_incast_summary(results.back(), variant_name(v));
+  }
+
+  if (series) {
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::printf("\n-- Jain index vs time_us: %s --\n",
+                  variant_name(variants[i]));
+      bench::print_series("time_us,jain", results[i].jain);
+      std::printf("\n-- Queue depth (KB) vs time_us: %s --\n",
+                  variant_name(variants[i]));
+      bench::print_series("time_us,queue_kb", results[i].queue_bytes, 80,
+                          1000.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figures 2 and 3: start time vs finish time of each flow in the 16-to-1
+// staggered incast, HPCC baselines (Fig. 2) and Swift baselines (Fig. 3).
+//
+// Paper shape to reproduce: with default settings, flows that start *last*
+// finish *first* (existing flows have decreased their rates several more
+// times than recent joiners); the 1 Gbps-AI and probabilistic variants
+// finish at roughly the same time.
+//
+// Flags: --senders N, --flow-kb N, --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+namespace {
+
+void print_table(const exp::IncastResult& r, const char* label) {
+  std::printf("\n-- %s: start_us -> finish_us --\n", label);
+  std::printf("flow,start_us,finish_us,fct_us\n");
+  for (const exp::FlowTiming& f : r.flows) {
+    std::printf("%u,%.1f,%.1f,%.1f\n", f.id,
+                static_cast<double>(f.start) / 1e3,
+                static_cast<double>(f.finish) / 1e3,
+                static_cast<double>(f.fct()) / 1e3);
+  }
+  // The paper's visual takeaway condensed into one number: Kendall-style
+  // count of start/finish inversions (later start but earlier finish).
+  int inversions = 0, pairs = 0;
+  for (std::size_t i = 0; i < r.flows.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.flows.size(); ++j) {
+      if (r.flows[i].start == r.flows[j].start) continue;
+      ++pairs;
+      if (r.flows[j].finish < r.flows[i].finish) ++inversions;
+    }
+  }
+  std::printf("start/finish inversions: %d of %d pairs (%.0f%%)\n",
+              inversions, pairs, 100.0 * inversions / pairs);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const long long flow_kb = bench::flag_value(argc, argv, "--flow-kb", 1000);
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf(
+      "=== Figures 2 & 3: start vs finish time, %d-1 staggered incast ===\n",
+      senders);
+
+  for (const exp::Variant v :
+       {exp::Variant::kHpcc, exp::Variant::kHpcc1G, exp::Variant::kHpccProb,
+        exp::Variant::kSwift, exp::Variant::kSwift1G,
+        exp::Variant::kSwiftProb}) {
+    exp::IncastConfig config;
+    config.variant = v;
+    config.pattern.senders = senders;
+    config.pattern.flow_bytes = static_cast<std::uint64_t>(flow_kb) * 1000;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    print_table(run_incast(config), variant_name(v));
+  }
+  return 0;
+}

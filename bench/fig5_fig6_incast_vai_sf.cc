@@ -1,0 +1,62 @@
+// Figures 5 and 6: Jain fairness index and queue depth during 16-to-1 and
+// 96-to-1 incast with the paper's mechanisms enabled — HPCC variants
+// (Fig. 5) and Swift variants (Fig. 6).
+//
+// Paper shape to reproduce: VAI SF converges to a Jain index of ~1 about as
+// fast as the high-AI / probabilistic baselines while keeping near-zero
+// steady queues (HPCC) / the smallest queues of all variants (Swift, which
+// drops FBS in VAI SF mode).
+//
+// Flags: --seed N, --series, --skip-96 (16-1 only, for quick runs).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+namespace {
+
+void run_family(const char* title, int senders,
+                const std::vector<exp::Variant>& variants, std::uint64_t seed,
+                bool series) {
+  std::printf("\n=== %s: %d-1 incast ===\n", title, senders);
+  for (const exp::Variant v : variants) {
+    exp::IncastConfig config;
+    config.variant = v;
+    config.pattern.senders = senders;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    const exp::IncastResult r = run_incast(config);
+    bench::print_incast_summary(r, variant_name(v));
+    if (series) {
+      std::printf("-- Jain: %s --\n", variant_name(v));
+      bench::print_series("time_us,jain", r.jain, 60);
+      std::printf("-- Queue KB: %s --\n", variant_name(v));
+      bench::print_series("time_us,queue_kb", r.queue_bytes, 60, 1000.0);
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+  const bool series = bench::has_flag(argc, argv, "--series");
+  const bool skip96 = bench::has_flag(argc, argv, "--skip-96");
+
+  const std::vector<exp::Variant> hpcc = {
+      exp::Variant::kHpcc, exp::Variant::kHpcc1G, exp::Variant::kHpccProb,
+      exp::Variant::kHpccVaiSf};
+  const std::vector<exp::Variant> swift = {
+      exp::Variant::kSwift, exp::Variant::kSwift1G, exp::Variant::kSwiftProb,
+      exp::Variant::kSwiftVaiSf};
+
+  run_family("Figure 5(a,b) HPCC", 16, hpcc, seed, series);
+  run_family("Figure 6(a,b) Swift", 16, swift, seed, series);
+  if (!skip96) {
+    run_family("Figure 5(c,d) HPCC", 96, hpcc, seed, series);
+    run_family("Figure 6(c,d) Swift", 96, swift, seed, series);
+  }
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figures 8 and 9: start vs finish time in the 16-to-1 incast, default
+// settings vs the VAI SF variants (HPCC in Fig. 8, Swift in Fig. 9).
+//
+// Paper shape to reproduce: with VAI SF the finish times bunch tightly
+// together (the staggered-start inversion pattern of Figs. 2/3 disappears).
+//
+// Flags: --senders N, --flow-kb N, --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = static_cast<int>(bench::flag_value(argc, argv, "--senders", 16));
+  const long long flow_kb = bench::flag_value(argc, argv, "--flow-kb", 1000);
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf(
+      "=== Figures 8 & 9: start vs finish, default vs VAI SF (%d-1) ===\n",
+      senders);
+
+  exp::IncastResult results[4];
+  const exp::Variant variants[] = {
+      exp::Variant::kHpcc, exp::Variant::kHpccVaiSf, exp::Variant::kSwift,
+      exp::Variant::kSwiftVaiSf};
+  for (int i = 0; i < 4; ++i) {
+    exp::IncastConfig config;
+    config.variant = variants[i];
+    config.pattern.senders = senders;
+    config.pattern.flow_bytes = static_cast<std::uint64_t>(flow_kb) * 1000;
+    config.star.host_count = senders + 1;
+    config.seed = seed;
+    results[i] = run_incast(config);
+  }
+
+  std::printf("flow,start_us");
+  for (const exp::Variant v : variants) std::printf(",%s_finish_us", variant_name(v));
+  std::printf("\n");
+  for (std::size_t f = 0; f < results[0].flows.size(); ++f) {
+    std::printf("%u,%.1f", results[0].flows[f].id,
+                static_cast<double>(results[0].flows[f].start) / 1e3);
+    for (const auto& r : results) {
+      std::printf(",%.1f", static_cast<double>(r.flows[f].finish) / 1e3);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nfinish spread (us): ");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%s=%.1f  ", variant_name(variants[i]),
+                static_cast<double>(results[i].finish_spread()) / 1e3);
+  }
+  std::printf("\nspread reduction: HPCC %.2fx, Swift %.2fx\n",
+              static_cast<double>(results[0].finish_spread()) /
+                  static_cast<double>(results[1].finish_spread()),
+              static_cast<double>(results[2].finish_spread()) /
+                  static_cast<double>(results[3].finish_spread()));
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Incast-degree scaling: the paper demonstrates its mechanisms at 16-1 and
+// 96-1 ("the same trends continue when we scale the incast").  This bench
+// fills in the curve: convergence debt and finish spread as a function of
+// the incast degree, default vs VAI SF, for both protocols.
+//
+// Expected shape: the default protocols' spread grows roughly linearly with
+// degree (every join re-starves the incumbents), while VAI SF holds the
+// spread to a small fraction of it at every degree.
+//
+// Flags: --seed N, --flow-kb N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/parallel.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+  const long long flow_kb = bench::flag_value(argc, argv, "--flow-kb", 1000);
+
+  const int degrees[] = {4, 8, 16, 32, 64, 96};
+  const exp::Variant variants[] = {
+      exp::Variant::kHpcc, exp::Variant::kHpccVaiSf, exp::Variant::kSwift,
+      exp::Variant::kSwiftVaiSf};
+
+  std::printf("=== Incast degree sweep (%lld KB flows) ===\n", flow_kb);
+  std::printf("degree");
+  for (const exp::Variant v : variants) {
+    std::printf(",%s spread_us,%s debt_us", variant_name(v), variant_name(v));
+  }
+  std::printf("\n");
+
+  for (const int n : degrees) {
+    std::vector<exp::IncastConfig> configs;
+    for (const exp::Variant v : variants) {
+      exp::IncastConfig c;
+      c.variant = v;
+      c.pattern.senders = n;
+      c.pattern.flow_bytes = static_cast<std::uint64_t>(flow_kb) * 1000;
+      c.star.host_count = n + 1;
+      c.seed = seed;
+      configs.push_back(c);
+    }
+    const auto results = run_incast_parallel(configs);
+    std::printf("%d", n);
+    for (const auto& r : results) {
+      std::printf(",%.1f,%.1f", static_cast<double>(r.finish_spread()) / 1e3,
+                  r.convergence(0.9).unfairness_integral_ns / 1e3);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

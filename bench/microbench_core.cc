@@ -1,0 +1,152 @@
+// Google-benchmark microbenchmarks for the hot paths of the simulator and
+// the measurement library: event scheduling/dispatch, Jain index, CDF
+// sampling, percentile computation, fluid-model integration, and an
+// end-to-end packets-per-second figure for the incast pipeline.
+#include <benchmark/benchmark.h>
+
+#include "core/fairness.h"
+#include "core/fluid_model.h"
+#include "experiments/incast.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_queue.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "stats/percentile.h"
+#include "workload/distributions.h"
+
+namespace {
+
+using namespace fastcc;
+
+void BM_EventQueueScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::EventQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule((i * 7919) % 100000, [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventQueueScheduleAndRun)->Arg(1024)->Arg(16384);
+
+void BM_CalendarQueueScheduleAndRun(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::CalendarQueue q;
+    for (int i = 0; i < n; ++i) {
+      q.schedule((i * 7919) % 100000, [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_CalendarQueueScheduleAndRun)->Arg(1024)->Arg(16384);
+
+// Steady-state pattern closer to a running simulation: a rolling horizon of
+// events, each pop scheduling a successor a short bounded time ahead.
+template <typename Queue>
+void rolling_horizon(benchmark::State& state) {
+  const int population = 4096;
+  for (auto _ : state) {
+    Queue q;
+    sim::Time now = 0;
+    for (int i = 0; i < population; ++i) q.schedule(i % 500, [] {});
+    for (int i = 0; i < 100'000; ++i) {
+      now = q.pop_and_run();
+      q.schedule(now + 80 + (i * 37) % 400, [] {});
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+void BM_EventQueueRollingHorizon(benchmark::State& state) {
+  rolling_horizon<sim::EventQueue>(state);
+}
+void BM_CalendarQueueRollingHorizon(benchmark::State& state) {
+  rolling_horizon<sim::CalendarQueue>(state);
+}
+BENCHMARK(BM_EventQueueRollingHorizon)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CalendarQueueRollingHorizon)->Unit(benchmark::kMillisecond);
+
+void BM_SimulatorSelfRescheduling(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    int remaining = n;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) s.after(10, [&] { tick(); });
+    };
+    s.after(10, [&] { tick(); });
+    s.run();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimulatorSelfRescheduling)->Arg(10000);
+
+void BM_JainIndex(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(1);
+  std::vector<double> rates(n);
+  for (double& r : rates) r = rng.uniform(0.0, 100.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::jain_index(rates));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_JainIndex)->Arg(16)->Arg(1024);
+
+void BM_CdfSample(benchmark::State& state) {
+  sim::Rng rng(2);
+  const workload::Cdf& cdf = workload::hadoop_cdf();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cdf.sample(rng));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CdfSample);
+
+void BM_Percentile(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  sim::Rng rng(3);
+  std::vector<double> values(n);
+  for (double& v : values) v = rng.uniform(1.0, 50.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::percentile(values, 99.9));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_Percentile)->Arg(10000);
+
+void BM_FluidModelRk4(benchmark::State& state) {
+  core::FluidModelParams p;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::integrate_rk4(sim::gbps(100), 100'000, 10.0, p));
+  }
+}
+BENCHMARK(BM_FluidModelRk4);
+
+/// End-to-end figure: full 8-1 incast (HPCC VAI SF), reported as simulated
+/// events per second.
+void BM_IncastEndToEnd(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::IncastConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.pattern.senders = 8;
+    config.pattern.flow_bytes = 100'000;
+    config.star.host_count = 9;
+    const exp::IncastResult r = run_incast(config);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_IncastEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

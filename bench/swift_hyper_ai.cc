@@ -1,0 +1,54 @@
+// Future-work experiment (Section VI-B): the paper observes Swift's single
+// constant AI makes median FCT recover slowly in the Hadoop workload
+// (Figure 12) and suggests "a hyper additive increase setting like in
+// Timely".  This bench implements that suggestion and measures it: Hadoop
+// traffic on the fat-tree, Swift vs Swift+HyperAI vs Swift VAI SF, reporting
+// the median and long-flow-tail slowdowns.
+//
+// Flags: --duration-us N (default 1500), --load-pct N, --seed N.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "experiments/datacenter.h"
+#include "stats/percentile.h"
+#include "workload/distributions.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const sim::Time duration =
+      bench::flag_value(argc, argv, "--duration-us", 1500) * sim::kMicrosecond;
+  const double load =
+      static_cast<double>(bench::flag_value(argc, argv, "--load-pct", 50)) / 100.0;
+  const auto seed = static_cast<std::uint64_t>(bench::flag_value(argc, argv, "--seed", 1));
+
+  std::printf("=== Future work: Swift hyper-AI on Hadoop traffic ===\n");
+  std::printf("%-16s %12s %14s %14s %14s\n", "variant", "flows",
+              "median slow", "p99 slow", "long p99.9");
+
+  for (const exp::Variant v :
+       {exp::Variant::kSwift, exp::Variant::kSwiftHai,
+        exp::Variant::kSwiftVaiSf}) {
+    exp::DatacenterConfig config;
+    config.variant = v;
+    config.components = {{&workload::hadoop_cdf(), 1.0}};
+    config.load = load;
+    config.generate_duration = duration;
+    config.seed = seed;
+    const exp::DatacenterResult r = run_datacenter(config);
+
+    stats::PercentileEstimator all, long_flows;
+    for (const auto& f : r.flows) {
+      all.add(f.slowdown());
+      if (f.size_bytes > 1'000'000) long_flows.add(f.slowdown());
+    }
+    std::printf("%-16s %12zu %14.2f %14.2f %14.2f\n", variant_name(v),
+                r.flows.size(), all.median(), all.percentile(99.0),
+                long_flows.empty() ? -1.0 : long_flows.p999());
+  }
+  std::printf(
+      "\nexpectation: HyperAI trims the median/99p of mid-size flows (the\n"
+      "Figure 12 gap) but does not by itself fix the long-flow tail —\n"
+      "that still needs the paper's fairness mechanisms.\n");
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Extending fastcc: implement your own congestion-control algorithm against
+// the cc::CongestionControl interface and run it through the standard incast
+// experiment.
+//
+// The example protocol is a deliberately simple delay-threshold AIMD
+// ("MiniCc"): halve the window once per RTT when the measured RTT exceeds a
+// fixed target, otherwise grow by one MTU per RTT.  It also shows how to
+// bolt the paper's Sampling Frequency helper onto a brand-new protocol —
+// exactly the "broadly applicable to other sender reaction-based protocols"
+// claim from Section V.
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/sampling_frequency.h"
+#include "experiments/incast.h"
+
+using namespace fastcc;
+
+namespace {
+
+class MiniCc final : public cc::CongestionControl {
+ public:
+  MiniCc(sim::Time target_delay, int sampling_freq)
+      : target_(target_delay), sf_(sampling_freq) {}
+
+  void on_flow_start(net::FlowTx& flow) override {
+    // Line-rate start, like the RDMA protocols in the paper.
+    window_ = flow.line_rate * static_cast<double>(flow.base_rtt);
+    max_window_ = window_;
+    apply(flow);
+  }
+
+  void on_ack(const cc::AckContext& ack, net::FlowTx& flow) override {
+    const double mtu = flow.mtu;
+    if (ack.rtt > target_) {
+      // Decrease either on the Sampling-Frequency schedule (every s ACKs —
+      // fast flows react more often) or once per RTT when SF is disabled.
+      const bool due = sf_.enabled()
+                           ? sf_.tick()
+                           : (last_decrease_ < 0 ||
+                              ack.now - last_decrease_ >= ack.rtt);
+      if (due) {
+        window_ /= 2.0;
+        last_decrease_ = ack.now;
+      }
+    } else {
+      // One MTU per RTT, spread across ACKs.
+      window_ += mtu * ack.bytes_acked / std::max(window_, mtu);
+    }
+    window_ = std::clamp(window_, mtu, max_window_);
+    apply(flow);
+  }
+
+  const char* name() const override { return "mini-cc"; }
+
+ private:
+  void apply(net::FlowTx& flow) {
+    flow.window_bytes = window_;
+    flow.rate = window_ / static_cast<double>(flow.base_rtt);
+  }
+
+  sim::Time target_;
+  core::SamplingFrequency sf_;
+  double window_ = 0.0;
+  double max_window_ = 0.0;
+  sim::Time last_decrease_ = -1;
+};
+
+exp::IncastResult run_mini(int sampling_freq) {
+  exp::IncastConfig config;
+  config.variant = exp::Variant::kHpcc;  // used only for labels/defaults
+  config.custom_cc = [sampling_freq](const net::PathInfo& path) {
+    // Tolerate one min-BDP of queueing on top of the unloaded RTT.
+    const sim::Time target = path.base_rtt + 4 * sim::kMicrosecond;
+    return std::make_unique<MiniCc>(target, sampling_freq);
+  };
+  return run_incast(config);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("custom_protocol: MiniCc on the 16-1 staggered incast\n\n");
+  for (const int s : {0, 30}) {
+    const exp::IncastResult r = run_mini(s);
+    const sim::Time settle = r.jain_settle_time(0.9);
+    std::printf(
+        "MiniCc %-14s finish_spread=%7.1f us  jain_settle90=%7.1f us  "
+        "max_queue=%6.1f KB  drops=%llu\n",
+        s == 0 ? "(per-RTT MD)" : "(SF, s=30)",
+        static_cast<double>(r.finish_spread()) / 1e3,
+        settle < 0 ? -1.0 : static_cast<double>(settle) / 1e3,
+        r.queue_bytes.max_value() / 1e3,
+        static_cast<unsigned long long>(r.drops));
+  }
+  std::printf(
+      "\nSampling Frequency transplants onto a new protocol unchanged —\n"
+      "fast flows receive more ACKs, so they decrease more often.\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Datacenter example: a shared cluster running the WebSearch + storage mix
+// (the paper's Section VI-A "shared environment") over the fat-tree, with a
+// protocol of your choice.  Prints the FCT slowdown table split by flow
+// size — the view that shows long-flow tails collapsing under VAI SF.
+//
+// Usage: datacenter_mix [variant] [duration_us] [--save-trace F | --replay F]
+//   variant: hpcc | hpcc-vai-sf | swift | swift-vai-sf | dcqcn (default hpcc)
+//   --save-trace F  write the generated flow schedule to CSV file F
+//   --replay F      replay a previously saved schedule instead of generating
+#include <cstdio>
+#include <cstring>
+
+#include "experiments/datacenter.h"
+#include "sim/random.h"
+#include "stats/fct.h"
+#include "stats/percentile.h"
+#include "workload/distributions.h"
+#include "workload/poisson.h"
+#include "workload/trace.h"
+
+using namespace fastcc;
+
+namespace {
+
+exp::Variant parse_variant(const char* name) {
+  if (std::strcmp(name, "hpcc-vai-sf") == 0) return exp::Variant::kHpccVaiSf;
+  if (std::strcmp(name, "swift") == 0) return exp::Variant::kSwift;
+  if (std::strcmp(name, "swift-vai-sf") == 0) return exp::Variant::kSwiftVaiSf;
+  if (std::strcmp(name, "dcqcn") == 0) return exp::Variant::kDcqcn;
+  return exp::Variant::kHpcc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::DatacenterConfig config;
+  config.variant = argc > 1 ? parse_variant(argv[1]) : exp::Variant::kHpcc;
+  config.topo = topo::scaled_fat_tree();
+  config.components = {{&workload::websearch_cdf(), 0.5},
+                       {&workload::storage_cdf(), 0.5}};
+  config.load = 0.5;
+  config.generate_duration =
+      (argc > 2 ? std::atoll(argv[2]) : 1000) * sim::kMicrosecond;
+
+  const char* save_path = nullptr;
+  const char* replay_path = nullptr;
+  for (int i = 3; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--save-trace") == 0) save_path = argv[i + 1];
+    if (std::strcmp(argv[i], "--replay") == 0) replay_path = argv[i + 1];
+  }
+  if (replay_path != nullptr) {
+    config.preset_flows = workload::load_flow_trace(replay_path);
+    std::printf("replaying %zu flows from %s\n", config.preset_flows.size(),
+                replay_path);
+  } else if (save_path != nullptr) {
+    // Generate the schedule exactly as the driver would, save it, and feed
+    // it back so the run matches future replays byte for byte.
+    workload::PoissonTrafficParams traffic;
+    traffic.components = config.components;
+    traffic.load = config.load;
+    traffic.host_bandwidth = config.topo.host_bandwidth;
+    traffic.host_count = config.topo.host_count();
+    traffic.duration = config.generate_duration;
+    sim::Rng base(config.seed);
+    sim::Rng traffic_rng = base.fork();
+    config.preset_flows = generate_poisson_traffic(traffic, traffic_rng);
+    workload::save_flow_trace(save_path, config.preset_flows);
+    std::printf("saved %zu flows to %s\n", config.preset_flows.size(),
+                save_path);
+  }
+
+  std::printf("datacenter_mix: %s, %d-host fat-tree, 50%% load\n",
+              variant_name(config.variant), config.topo.host_count());
+
+  const exp::DatacenterResult result = run_datacenter(config);
+  std::printf("flows completed: %zu (unfinished %zu, drops %llu)\n",
+              result.flows.size(), result.unfinished,
+              static_cast<unsigned long long>(result.drops));
+
+  const auto rows = stats::slowdown_by_size(result.flows, 12, 99.0);
+  std::printf("\n%-14s %10s %8s\n", "size group", "p99 slow", "flows");
+  for (const auto& row : rows) {
+    std::printf("<= %8.1f KB %10.2f %8zu\n",
+                static_cast<double>(row.max_size_bytes) / 1000.0,
+                row.slowdown, row.flow_count);
+  }
+
+  stats::PercentileEstimator small_flows, long_flows;
+  for (const auto& f : result.flows) {
+    (f.size_bytes > 1'000'000 ? long_flows : small_flows).add(f.slowdown());
+  }
+  if (!small_flows.empty() && !long_flows.empty()) {
+    std::printf("\nsmall (<=1MB) median slowdown: %.2f\n",
+                small_flows.median());
+    std::printf("long  (>1MB)  p99.9 slowdown:  %.2f\n", long_flows.p999());
+  }
+  return 0;
+}

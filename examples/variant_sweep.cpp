@@ -1,0 +1,69 @@
+// Parallel parameter sweep: fan the full protocol-variant catalogue over a
+// thread pool (each simulation is independent and deterministic, so the
+// sweep scales to the machine's core count) and rank the variants by the
+// paper's convergence metrics.
+//
+// Usage: variant_sweep [senders] [threads]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/convergence.h"
+#include "experiments/parallel.h"
+
+using namespace fastcc;
+
+int main(int argc, char** argv) {
+  const int senders = argc > 1 ? std::atoi(argv[1]) : 16;
+  const unsigned threads =
+      argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 0;
+
+  const std::vector<exp::Variant> variants = {
+      exp::Variant::kHpcc,     exp::Variant::kHpcc1G,
+      exp::Variant::kHpccProb, exp::Variant::kHpccVai,
+      exp::Variant::kHpccSf,   exp::Variant::kHpccVaiSf,
+      exp::Variant::kSwift,    exp::Variant::kSwift1G,
+      exp::Variant::kSwiftProb, exp::Variant::kSwiftVai,
+      exp::Variant::kSwiftSf,  exp::Variant::kSwiftVaiSf,
+      exp::Variant::kSwiftHai, exp::Variant::kDcqcn,
+      exp::Variant::kTimely,
+  };
+
+  std::vector<exp::IncastConfig> configs;
+  for (const exp::Variant v : variants) {
+    exp::IncastConfig c;
+    c.variant = v;
+    c.pattern.senders = senders;
+    c.star.host_count = senders + 1;
+    configs.push_back(c);
+  }
+
+  std::printf("variant_sweep: %zu variants, %d-1 incast, %s threads\n\n",
+              configs.size(), senders,
+              threads == 0 ? "auto" : std::to_string(threads).c_str());
+  const std::vector<exp::IncastResult> results =
+      run_incast_parallel(configs, threads);
+
+  // Rank by unfairness debt (the integral of 1 - Jain over the run).
+  std::vector<std::size_t> order(results.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::vector<core::ConvergenceSummary> summaries;
+  for (const auto& r : results) summaries.push_back(r.convergence(0.9));
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return summaries[a].unfairness_integral_ns <
+           summaries[b].unfairness_integral_ns;
+  });
+
+  std::printf("%-22s %16s %14s %12s %10s\n", "variant (best first)",
+              "unfair debt (us)", "settle90 (us)", "mean jain", "util");
+  for (const std::size_t i : order) {
+    const auto& s = summaries[i];
+    std::printf("%-22s %16.1f %14.1f %12.3f %10.3f\n",
+                variant_name(variants[i]), s.unfairness_integral_ns / 1e3,
+                s.settle_time < 0 ? -1.0
+                                  : static_cast<double>(s.settle_time) / 1e3,
+                s.mean_index, results[i].mean_utilization());
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+#include "cc/dcqcn.h"
+
+#include <algorithm>
+
+namespace fastcc::cc {
+
+void Dcqcn::on_flow_start(net::FlowTx& flow) {
+  // RDMA flows start at line rate; DCQCN is purely rate-based.
+  rc_ = flow.line_rate;
+  rt_ = flow.line_rate;
+  alpha_ = 1.0;
+  flow.window_bytes = net::FlowTx::kUnlimitedWindow;
+  apply(flow);
+}
+
+void Dcqcn::apply(net::FlowTx& flow) {
+  rc_ = std::clamp(rc_, p_.min_rate, flow.line_rate);
+  rt_ = std::clamp(rt_, p_.min_rate, flow.line_rate);
+  flow.rate = rc_;
+}
+
+void Dcqcn::cut_rate(net::FlowTx& flow) {
+  alpha_ = std::min(1.0, (1.0 - p_.g) * alpha_ + p_.g);
+  rt_ = rc_;
+  rc_ = rc_ * (1.0 - alpha_ / 2.0);
+  t_stage_ = 0;
+  bc_stage_ = 0;
+  bytes_since_increase_ = 0;
+  apply(flow);
+  // Restart both timers relative to this congestion event.
+  ++alpha_epoch_;
+  ++increase_epoch_;
+  alpha_timer_armed_ = false;
+  increase_timer_armed_ = false;
+  arm_alpha_timer(&flow);
+  arm_increase_timer(&flow);
+}
+
+void Dcqcn::increase(net::FlowTx& flow) {
+  if (t_stage_ >= p_.fast_recovery_stages &&
+      bc_stage_ >= p_.fast_recovery_stages) {
+    rt_ += p_.rate_hai;  // hyper increase
+  } else if (t_stage_ >= p_.fast_recovery_stages ||
+             bc_stage_ >= p_.fast_recovery_stages) {
+    rt_ += p_.rate_ai;   // additive increase
+  }
+  // Fast recovery (and every stage): close half the gap to the target rate.
+  rc_ = (rt_ + rc_) / 2.0;
+  apply(flow);
+}
+
+void Dcqcn::arm_alpha_timer(net::FlowTx* flow) {
+  if (alpha_timer_armed_) return;
+  // Once alpha has decayed to noise, snap to zero and stop: the next CNP
+  // re-arms the machinery.  Without this, every long-lived flow would keep
+  // a timer alive for hundreds of milliseconds of pointless decay events.
+  if (alpha_ < 1e-4) {
+    alpha_ = 0.0;
+    return;
+  }
+  alpha_timer_armed_ = true;
+  const std::uint64_t epoch = alpha_epoch_;
+  sim_.after(p_.alpha_update_interval, [this, flow, epoch] {
+    if (epoch != alpha_epoch_) return;  // superseded by a CNP restart
+    alpha_timer_armed_ = false;
+    if (flow->finished()) return;
+    alpha_ = (1.0 - p_.g) * alpha_;
+    arm_alpha_timer(flow);
+  });
+}
+
+void Dcqcn::arm_increase_timer(net::FlowTx* flow) {
+  if (increase_timer_armed_) return;
+  // At (numerically) line rate the recovery machinery is quiescent until the
+  // next CNP; snap the asymptotic fast-recovery tail to exactly line rate.
+  if (rc_ >= flow->line_rate * (1.0 - 1e-6) && rt_ >= flow->line_rate) {
+    rc_ = flow->line_rate;
+    flow->rate = rc_;
+    return;
+  }
+  increase_timer_armed_ = true;
+  const std::uint64_t epoch = increase_epoch_;
+  sim_.after(p_.rate_increase_timer, [this, flow, epoch] {
+    if (epoch != increase_epoch_) return;
+    increase_timer_armed_ = false;
+    if (flow->finished()) return;
+    ++t_stage_;
+    increase(*flow);
+    arm_increase_timer(flow);
+  });
+}
+
+void Dcqcn::on_ack(const AckContext& ack, net::FlowTx& flow) {
+  if (ack.cnp) {
+    cut_rate(flow);
+    return;
+  }
+  // Byte-counter driven increase events.
+  bytes_since_increase_ += ack.bytes_acked;
+  if (bytes_since_increase_ >= p_.byte_counter) {
+    bytes_since_increase_ = 0;
+    ++bc_stage_;
+    increase(flow);
+  }
+  arm_increase_timer(&flow);
+  arm_alpha_timer(&flow);
+}
+
+}  // namespace fastcc::cc

@@ -1,0 +1,66 @@
+// DCQCN (Zhu et al., SIGCOMM 2015).
+//
+// The paper's background protocol and fairness reference: RED/ECN marking at
+// switches is probabilistic, so flows holding more bandwidth receive
+// congestion notifications more often — the property the paper's mechanisms
+// graft onto HPCC and Swift.  This is a faithful rate-based implementation:
+// CNP-driven multiplicative decrease with an EWMA severity estimate (alpha),
+// and timer/byte-counter driven recovery through fast-recovery, additive and
+// hyper increase stages.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cc.h"
+#include "net/flow.h"
+#include "sim/simulator.h"
+
+namespace fastcc::cc {
+
+struct DcqcnParams {
+  double g = 1.0 / 256.0;       ///< Alpha EWMA gain.
+  sim::Time alpha_update_interval = 55 * sim::kMicrosecond;
+  sim::Time rate_increase_timer = 55 * sim::kMicrosecond;
+  std::uint64_t byte_counter = 10'000'000;  ///< Bytes per BC increase event.
+  int fast_recovery_stages = 5;             ///< F.
+  sim::Rate rate_ai = sim::gbps(0.04);      ///< Additive increase step.
+  sim::Rate rate_hai = sim::gbps(0.4);      ///< Hyper increase step.
+  sim::Rate min_rate = sim::gbps(0.1);
+};
+
+class Dcqcn final : public CongestionControl {
+ public:
+  Dcqcn(const DcqcnParams& params, sim::Simulator& simulator)
+      : p_(params), sim_(simulator) {}
+
+  void on_flow_start(net::FlowTx& flow) override;
+  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
+  const char* name() const override { return "dcqcn"; }
+
+  double alpha() const { return alpha_; }
+  sim::Rate current_rate() const { return rc_; }
+  sim::Rate target_rate() const { return rt_; }
+
+ private:
+  void cut_rate(net::FlowTx& flow);
+  void increase(net::FlowTx& flow);
+  void arm_alpha_timer(net::FlowTx* flow);
+  void arm_increase_timer(net::FlowTx* flow);
+  void apply(net::FlowTx& flow);
+
+  DcqcnParams p_;
+  sim::Simulator& sim_;
+
+  double alpha_ = 1.0;
+  sim::Rate rc_ = 0.0;  ///< Current rate.
+  sim::Rate rt_ = 0.0;  ///< Target rate.
+  int t_stage_ = 0;
+  int bc_stage_ = 0;
+  std::uint64_t bytes_since_increase_ = 0;
+  bool alpha_timer_armed_ = false;
+  bool increase_timer_armed_ = false;
+  std::uint64_t alpha_epoch_ = 0;     ///< Invalidates stale alpha timers.
+  std::uint64_t increase_epoch_ = 0;  ///< Invalidates stale increase timers.
+};
+
+}  // namespace fastcc::cc

@@ -1,0 +1,49 @@
+#include "cc/dctcp.h"
+
+#include <algorithm>
+
+namespace fastcc::cc {
+
+void Dctcp::on_flow_start(net::FlowTx& flow) {
+  max_cwnd_ = flow.line_rate * static_cast<double>(flow.base_rtt) /
+              static_cast<double>(flow.mtu);
+  cwnd_ = max_cwnd_;  // line-rate start, consistent with the RDMA peers
+  window_end_seq_ = 0;
+  apply(flow);
+}
+
+void Dctcp::apply(net::FlowTx& flow) {
+  cwnd_ = std::clamp(cwnd_, p_.min_cwnd_packets, max_cwnd_);
+  flow.window_bytes = cwnd_ * flow.mtu;
+  flow.rate = flow.line_rate;  // ack-clocked; the window does the limiting
+}
+
+void Dctcp::on_ack(const AckContext& ack, net::FlowTx& flow) {
+  if (window_end_seq_ == 0) {
+    // First ACK establishes the observation-window horizon (like HPCC's
+    // first-telemetry snapshot); no reaction yet.
+    window_end_seq_ = flow.snd_nxt;
+  } else if (ack.ack_seq > window_end_seq_) {
+    // The previous window is fully acknowledged: fold its marked fraction
+    // into alpha and react exactly once.
+    const double fraction =
+        acked_in_window_ == 0
+            ? 0.0
+            : static_cast<double>(marked_in_window_) /
+                  static_cast<double>(acked_in_window_);
+    alpha_ = (1.0 - p_.g) * alpha_ + p_.g * fraction;
+    if (marked_in_window_ > 0) {
+      cwnd_ *= 1.0 - alpha_ / 2.0;
+    } else {
+      cwnd_ += p_.ai_packets_per_rtt;
+    }
+    acked_in_window_ = 0;
+    marked_in_window_ = 0;
+    window_end_seq_ = flow.snd_nxt;
+    apply(flow);
+  }
+  acked_in_window_ += ack.bytes_acked;
+  if (ack.ecn) marked_in_window_ += ack.bytes_acked;
+}
+
+}  // namespace fastcc::cc

@@ -1,0 +1,50 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010).
+//
+// The paper's reference ([5]) for scaling the multiplicative decrease with
+// the *extent* of congestion: switches mark packets with a step function at
+// queue threshold K, the sender maintains an EWMA `alpha` of the fraction of
+// marked ACKs per window, and each congested window shrinks by alpha/2 —
+// light congestion costs a sliver of window, heavy congestion costs half.
+// Included as the fourth sender-side baseline protocol.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cc.h"
+#include "net/flow.h"
+
+namespace fastcc::cc {
+
+struct DctcpParams {
+  double g = 1.0 / 16.0;  ///< EWMA gain for the marked fraction.
+  double ai_packets_per_rtt = 1.0;
+  double min_cwnd_packets = 1.0;
+  /// Step-marking threshold the switches should use (bytes); exposed here so
+  /// experiments configure RED consistently with the protocol.
+  std::uint32_t mark_threshold_bytes = 100'000;
+};
+
+class Dctcp final : public CongestionControl {
+ public:
+  explicit Dctcp(const DctcpParams& params) : p_(params) {}
+
+  void on_flow_start(net::FlowTx& flow) override;
+  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
+  const char* name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+  double cwnd_packets() const { return cwnd_; }
+
+ private:
+  void apply(net::FlowTx& flow);
+
+  DctcpParams p_;
+  double cwnd_ = 0.0;        ///< Packets.
+  double max_cwnd_ = 0.0;
+  double alpha_ = 0.0;
+  std::uint64_t window_end_seq_ = 0;  ///< Current observation window.
+  std::uint64_t acked_in_window_ = 0;
+  std::uint64_t marked_in_window_ = 0;
+};
+
+}  // namespace fastcc::cc

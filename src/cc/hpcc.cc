@@ -1,0 +1,167 @@
+#include "cc/hpcc.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastcc::cc {
+
+core::VariableAiParams hpcc_paper_vai(double min_bdp_bytes) {
+  core::VariableAiParams vai;
+  vai.enabled = true;
+  vai.token_thresh = min_bdp_bytes;
+  vai.ai_div = 1000.0;  // one token per KByte of queue
+  vai.bank_cap = 1000.0;
+  vai.ai_cap = 100.0;
+  vai.dampener_constant = 8.0;
+  return vai;
+}
+
+void Hpcc::on_flow_start(net::FlowTx& flow) {
+  // RDMA flows start at line rate: W = line-rate BDP (Sec. IV observation 1).
+  max_window_ = flow.line_rate * static_cast<double>(flow.base_rtt);
+  wc_ = max_window_;
+  w_ai_base_ = p_.ai_rate * static_cast<double>(flow.base_rtt);
+  flow.window_bytes = max_window_;
+  flow.rate = flow.line_rate;
+  last_update_seq_ = 0;
+  vai_boundary_seq_ = 0;
+}
+
+double Hpcc::measure_inflight(const AckContext& ack, const net::FlowTx& flow) {
+  const int hops = static_cast<int>(ack.ints.size());
+  if (hops == 0) return -1.0;
+  if (prev_hop_count_ != hops) {
+    // First ACK on this path (or a reroute): snapshot and wait for the next.
+    for (int i = 0; i < hops; ++i) prev_ints_[i] = ack.ints[i];
+    prev_hop_count_ = hops;
+    return -1.0;
+  }
+
+  const double T = static_cast<double>(flow.base_rtt);
+  double u_max = 0.0;
+  double tau = T;
+  for (int i = 0; i < hops; ++i) {
+    const net::IntRecord& cur = ack.ints[i];
+    const net::IntRecord& prev = prev_ints_[i];
+    const double dt = static_cast<double>(cur.timestamp - prev.timestamp);
+    if (dt <= 0.0) continue;  // two ACKs surveyed the same egress event
+    const double tx_rate =
+        static_cast<double>(cur.tx_bytes - prev.tx_bytes) / dt;
+    const double qlen = static_cast<double>(
+        std::min(cur.qlen_bytes, prev.qlen_bytes));
+    const double u_link = qlen / (cur.bandwidth * T) + tx_rate / cur.bandwidth;
+    if (u_link > u_max) {
+      u_max = u_link;
+      tau = dt;
+    }
+  }
+  for (int i = 0; i < hops; ++i) prev_ints_[i] = ack.ints[i];
+
+  tau = std::min(tau, T);
+  const double w = std::min(tau / T, p_.ewma_weight_cap);
+  u_ = (1.0 - w) * u_ + w * u_max;
+  return u_;
+}
+
+void Hpcc::maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow) {
+  rtt_max_u_ = std::max(rtt_max_u_, u_);
+  if (vai_.enabled()) {
+    // Measured congestion for HPCC's VAI is the max per-hop queue depth.
+    double max_q = 0.0;
+    for (const auto& rec : ack.ints) {
+      max_q = std::max(max_q, static_cast<double>(rec.qlen_bytes));
+    }
+    vai_.observe(max_q);
+  }
+  if (ack.ack_seq > vai_boundary_seq_) {
+    // "No congestion" for HPCC: the multiplicative factor stayed in increase
+    // territory (max U < eta) for the whole RTT.
+    vai_.on_rtt_boundary(/*no_congestion_entire_rtt=*/rtt_max_u_ < p_.eta);
+    rtt_max_u_ = 0.0;
+    vai_boundary_seq_ = flow.snd_nxt;
+  }
+}
+
+double Hpcc::compute_window(double u, bool update_reference,
+                            net::FlowTx& flow) {
+  const double w_ai =
+      w_ai_base_ * vai_.ai_multiplier(/*spend=*/update_reference);
+  double w;
+  if (u >= p_.eta || inc_stage_ >= p_.max_stage) {
+    // Multiplicative adjustment toward eta utilization.
+    w = wc_ / (u / p_.eta) + w_ai;
+    if (update_reference) {
+      inc_stage_ = 0;
+      wc_ = w;
+    }
+  } else {
+    // Additive increase stage.
+    w = wc_ + w_ai;
+    if (update_reference) {
+      ++inc_stage_;
+      wc_ = w;
+    }
+  }
+  const double min_w = p_.min_window_mtus * flow.mtu;
+  return std::clamp(w, min_w, max_window_);
+}
+
+void Hpcc::on_ack(const AckContext& ack, net::FlowTx& flow) {
+  const double u = measure_inflight(ack, flow);
+  maybe_rtt_boundary(ack, flow);
+  if (u < 0.0) return;  // no measurement yet
+
+  const bool decrease_branch = (u >= p_.eta || inc_stage_ >= p_.max_stage);
+
+  // Reference-update gate.  Default HPCC: once per RTT (ack passed the
+  // sequence snapshot taken at the previous update).  With Sampling
+  // Frequency, *decreases* commit every s ACKs instead; increases keep the
+  // per-RTT schedule (Section V-B).  Because HPCC's reference update couples
+  // the multiplicative recalibration with the +W_AI term, SF mode also
+  // accrues W_AI into the reference once per RTT during persistent
+  // congestion — otherwise slow flows (whose s ACKs span many RTTs) would
+  // see their additive increase starve, the opposite of the paper's intent
+  // that "rate increases still happen once per-RTT".
+  bool update_reference;
+  const bool rtt_elapsed = ack.ack_seq > last_update_seq_;
+  if (sf_.enabled() && decrease_branch) {
+    update_reference = sf_.tick();
+  } else {
+    update_reference = rtt_elapsed;
+  }
+
+  // Probabilistic feedback (Section III-D): a reference-updating decrease is
+  // ignored when the per-RTT window is small — rand() % maxW above the
+  // current reference window means "disregard this congestion signal".
+  if (update_reference && decrease_branch && p_.probabilistic_feedback &&
+      rng_ != nullptr) {
+    const double draw = rng_->uniform(0.0, max_window_);
+    if (wc_ < draw) update_reference = false;
+  }
+
+  if (sf_.enabled() && decrease_branch && !update_reference && rtt_elapsed) {
+    // Token-driven surplus only: while the bank holds tokens (the network is
+    // recovering from a new-flow join), slow flows whose s ACKs span many
+    // RTTs still collect their elevated AI once per RTT.  With an empty bank
+    // the multiplier is 1 and this adds nothing, so steady-state behaviour
+    // matches stock HPCC.
+    const double mult = vai_.ai_multiplier(/*spend=*/true);
+    if (mult > 1.0) {
+      wc_ += w_ai_base_ * (mult - 1.0);
+      wc_ = std::min(wc_, max_window_);
+    }
+    last_update_seq_ = flow.snd_nxt;
+  }
+
+  const double w = compute_window(u, update_reference, flow);
+  if (update_reference) {
+    last_update_seq_ = flow.snd_nxt;
+    if (!decrease_branch) sf_.reset();
+  }
+
+  flow.window_bytes = std::max(w, net::FlowTx::kMinWindowBytes);
+  flow.rate = flow.window_bytes / static_cast<double>(flow.base_rtt);
+}
+
+}  // namespace fastcc::cc

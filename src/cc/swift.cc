@@ -1,0 +1,196 @@
+#include "cc/swift.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastcc::cc {
+
+core::VariableAiParams swift_paper_vai(sim::Time target_delay,
+                                       sim::Time base_rtt,
+                                       sim::Time min_bdp_delay) {
+  core::VariableAiParams vai;
+  vai.enabled = true;
+  // The paper thresholds the raw RTT at target + min-BDP delay; our measured
+  // congestion is queueing delay (rtt - base_rtt), so subtract the base.
+  vai.token_thresh = static_cast<double>(
+      std::max<sim::Time>(target_delay + min_bdp_delay - base_rtt, 1));
+  vai.ai_div = 30.0;  // one token per 30 ns of queueing delay
+  vai.bank_cap = 1000.0;
+  vai.ai_cap = 100.0;
+  vai.dampener_constant = 8.0;
+  return vai;
+}
+
+void Swift::on_flow_start(net::FlowTx& flow) {
+  max_cwnd_ = flow.line_rate * static_cast<double>(flow.base_rtt) /
+              static_cast<double>(flow.mtu);
+  // The paper starts Swift flows at line rate to match RDMA peers.
+  cwnd_ = max_cwnd_;
+  ref_cwnd_ = max_cwnd_;
+  ai_pkts_per_rtt_ = p_.ai_rate * static_cast<double>(flow.base_rtt) /
+                     static_cast<double>(flow.mtu);
+  rtt_ewma_ = flow.base_rtt;
+  last_decrease_time_ = -1;
+  apply(flow);
+}
+
+sim::Time Swift::target_delay(double cwnd_packets, int switch_hops) const {
+  sim::Time t = p_.base_target + switch_hops * p_.per_hop_scaling;
+  if (p_.use_fbs) {
+    // Swift's flow-based scaling: target rises as 1/sqrt(cwnd) between
+    // fs_max_cwnd (no extra) and fs_min_cwnd (full fs_range extra).
+    const double inv_sqrt_min = 1.0 / std::sqrt(p_.fs_min_cwnd);
+    const double inv_sqrt_max = 1.0 / std::sqrt(p_.fs_max_cwnd);
+    const double alpha =
+        static_cast<double>(p_.fs_range) / (inv_sqrt_min - inv_sqrt_max);
+    const double beta_hat = -alpha * inv_sqrt_max;
+    const double cwnd = std::max(cwnd_packets, 1e-6);
+    double extra = alpha / std::sqrt(cwnd) + beta_hat;
+    extra = std::clamp(extra, 0.0, static_cast<double>(p_.fs_range));
+    t += static_cast<sim::Time>(extra);
+  }
+  return t;
+}
+
+double Swift::mdf_factor(sim::Time delay, sim::Time target) const {
+  // Equation 1: the multiplicative factor shrinks with congestion severity
+  // but never drops below max_mdf (0.5 in the paper's setting).
+  const double severity = static_cast<double>(delay - target) /
+                          static_cast<double>(std::max<sim::Time>(delay, 1));
+  return std::max(1.0 - p_.beta * severity, p_.max_mdf);
+}
+
+void Swift::apply(net::FlowTx& flow) {
+  cwnd_ = std::clamp(cwnd_, p_.min_cwnd, max_cwnd_);
+  flow.window_bytes =
+      std::max(cwnd_ * flow.mtu, net::FlowTx::kMinWindowBytes);
+  if (cwnd_ >= 1.0) {
+    // Window-limited, ack-clocked regime: the NIC sends as fast as the
+    // window allows.
+    flow.rate = flow.line_rate;
+  } else {
+    // Sub-packet windows pace one packet per rtt/cwnd, per the Swift paper.
+    flow.rate = cwnd_ * static_cast<double>(flow.mtu) /
+                static_cast<double>(std::max<sim::Time>(rtt_ewma_, 1));
+  }
+}
+
+void Swift::maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow,
+                               sim::Time target) {
+  if (vai_.enabled()) {
+    const sim::Time qdelay = std::max<sim::Time>(ack.rtt - flow.base_rtt, 0);
+    vai_.observe(static_cast<double>(qdelay));
+  }
+  if (ack.rtt > target) congestion_seen_in_rtt_ = true;
+  if (ack.ack_seq > vai_boundary_seq_) {
+    vai_.on_rtt_boundary(/*no_congestion_entire_rtt=*/!congestion_seen_in_rtt_);
+    if (congestion_seen_in_rtt_) {
+      quiet_rtt_streak_ = 0;
+    } else {
+      ++quiet_rtt_streak_;
+    }
+    congestion_seen_in_rtt_ = false;
+    vai_boundary_seq_ = flow.snd_nxt;
+  }
+}
+
+double Swift::hyper_ai_factor() const {
+  return in_hyper_ai() ? p_.hai_multiplier : 1.0;
+}
+
+void Swift::on_ack(const AckContext& ack, net::FlowTx& flow) {
+  constexpr double kRttEwma = 0.2;
+  rtt_ewma_ = static_cast<sim::Time>((1.0 - kRttEwma) *
+                                         static_cast<double>(rtt_ewma_) +
+                                     kRttEwma * static_cast<double>(ack.rtt));
+
+  const sim::Time target = target_delay(cwnd_, scaling_hops(flow.path_hops));
+  maybe_rtt_boundary(ack, flow, target);
+
+  const bool sf_mode = sf_.enabled() || p_.always_ai;
+  const double acked_pkts =
+      static_cast<double>(ack.bytes_acked) / static_cast<double>(flow.mtu);
+
+  if (!sf_mode) {
+    // ---- Stock Swift ----
+    if (ack.rtt < target) {
+      // Additive increase, ~ai_pkts_per_rtt_ per RTT spread over ACKs —
+      // scaled up in hyper mode after a streak of congestion-free RTTs.
+      cwnd_ += hyper_ai_factor() * ai_pkts_per_rtt_ * acked_pkts /
+               std::max(cwnd_, 1.0);
+    } else if (last_decrease_time_ < 0 ||
+               ack.now - last_decrease_time_ >= ack.rtt) {
+      bool commit = true;
+      if (p_.probabilistic_feedback && rng_ != nullptr) {
+        // Linear ignore law: small windows usually disregard the signal.
+        const double draw = rng_->uniform(0.0, max_cwnd_);
+        if (cwnd_ < draw) commit = false;
+      }
+      if (commit) {
+        cwnd_ *= mdf_factor(ack.rtt, target);
+        last_decrease_time_ = ack.now;
+      }
+    }
+    apply(flow);
+    return;
+  }
+
+  // ---- Sampling-Frequency mode (Section V-B) ----
+  // Window recomputed from a reference each ACK, HPCC-style; the reference
+  // commits every s ACKs on decreases and once per RTT on increases.  The AI
+  // term is always present so Variable AI tokens are always spent.
+  const bool decrease_branch = ack.rtt > target;
+  const double factor = decrease_branch ? mdf_factor(ack.rtt, target) : 1.0;
+
+  bool update_reference;
+  if (decrease_branch) {
+    update_reference = sf_.enabled() ? sf_.tick()
+                                     : (last_decrease_time_ < 0 ||
+                                        ack.now - last_decrease_time_ >= ack.rtt);
+  } else {
+    update_reference = ack.ack_seq > ref_boundary_seq_;
+  }
+
+  if (update_reference && decrease_branch && p_.probabilistic_feedback &&
+      rng_ != nullptr) {
+    const double draw = rng_->uniform(0.0, max_cwnd_);
+    if (ref_cwnd_ < draw) update_reference = false;
+  }
+
+  // During persistent congestion a slow flow's s-ACK commit can span many
+  // RTTs; accrue the additive increase into the reference once per RTT so
+  // increases keep their per-RTT cadence (Section V-B), mirroring HPCC.
+  if (decrease_branch && !update_reference &&
+      ack.ack_seq > ref_boundary_seq_) {
+    // Token-driven surplus only (see the HPCC twin of this block): no-op
+    // once the bank is empty, so steady state matches stock Swift.
+    const double mult = vai_.ai_multiplier(/*spend=*/true);
+    if (mult > 1.0) {
+      ref_cwnd_ += ai_pkts_per_rtt_ * (mult - 1.0);
+      ref_cwnd_ = std::min(ref_cwnd_, max_cwnd_);
+    }
+    ref_boundary_seq_ = flow.snd_nxt;
+  }
+
+  const double ai_term =
+      (p_.always_ai || !decrease_branch)
+          ? hyper_ai_factor() * ai_pkts_per_rtt_ *
+                vai_.ai_multiplier(/*spend=*/update_reference)
+          : 0.0;
+  cwnd_ = ref_cwnd_ * factor + ai_term;
+  cwnd_ = std::clamp(cwnd_, p_.min_cwnd, max_cwnd_);
+
+  if (update_reference) {
+    ref_cwnd_ = cwnd_;
+    if (decrease_branch) {
+      last_decrease_time_ = ack.now;
+    } else {
+      ref_boundary_seq_ = flow.snd_nxt;
+      sf_.reset();
+    }
+  }
+  apply(flow);
+}
+
+}  // namespace fastcc::cc

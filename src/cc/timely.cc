@@ -1,0 +1,62 @@
+#include "cc/timely.h"
+
+#include <algorithm>
+
+namespace fastcc::cc {
+
+void Timely::on_flow_start(net::FlowTx& flow) {
+  rate_ = flow.line_rate;  // RDMA line-rate start, like the other protocols
+  min_rtt_ = static_cast<double>(flow.base_rtt);
+  if (p_.t_low == 0) p_.t_low = flow.base_rtt + 2 * sim::kMicrosecond;
+  if (p_.t_high == 0) p_.t_high = flow.base_rtt + 20 * sim::kMicrosecond;
+  flow.window_bytes = net::FlowTx::kUnlimitedWindow;
+  flow.rate = rate_;
+}
+
+void Timely::on_ack(const AckContext& ack, net::FlowTx& flow) {
+  // RTT-gradient estimation.
+  if (prev_rtt_ < 0) {
+    prev_rtt_ = ack.rtt;
+    return;
+  }
+  const double new_diff = static_cast<double>(ack.rtt - prev_rtt_);
+  prev_rtt_ = ack.rtt;
+  rtt_diff_ = (1.0 - p_.ewma_alpha) * rtt_diff_ + p_.ewma_alpha * new_diff;
+  const double gradient = rtt_diff_ / min_rtt_;
+
+  const bool md_gate_open =
+      last_decrease_time_ < 0 || ack.now - last_decrease_time_ >= ack.rtt;
+
+  auto additive = [&] {
+    const bool hai = p_.use_hai && in_hai();
+    rate_ += hai ? p_.hai_multiplier * p_.additive_step : p_.additive_step;
+    ++negative_streak_;
+  };
+
+  if (ack.rtt < p_.t_low) {
+    // Guard band: clearly uncongested regardless of gradient.
+    additive();
+  } else if (ack.rtt > p_.t_high) {
+    // Guard band: cap the worst-case queueing delay.
+    if (md_gate_open) {
+      rate_ *= 1.0 - p_.beta *
+                         (1.0 - static_cast<double>(p_.t_high) /
+                                    static_cast<double>(ack.rtt));
+      last_decrease_time_ = ack.now;
+    }
+    negative_streak_ = 0;
+  } else if (gradient <= 0.0) {
+    additive();
+  } else {
+    if (md_gate_open) {
+      rate_ *= 1.0 - p_.beta * std::min(gradient, 1.0);
+      last_decrease_time_ = ack.now;
+    }
+    negative_streak_ = 0;
+  }
+
+  rate_ = std::clamp(rate_, p_.min_rate, flow.line_rate);
+  flow.rate = rate_;
+}
+
+}  // namespace fastcc::cc

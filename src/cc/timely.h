@@ -1,0 +1,59 @@
+// TIMELY (Mittal et al., SIGCOMM 2015).
+//
+// A rate-based protocol driven by the *gradient* of the RTT rather than its
+// absolute value: a rising RTT (positive gradient) signals queue growth and
+// triggers a proportional multiplicative decrease, a falling or flat RTT
+// allows additive increase.  Absolute guard bands remain: below t_low the
+// rate always grows, above t_high it always shrinks.  TIMELY's distinctive
+// Hyper-Active Increase (HAI) multiplies the additive step after several
+// consecutive gradient-negative updates — the mechanism the paper's
+// Section VI-B suggests grafting onto Swift to fix its slow median-FCT
+// recovery.
+//
+// The paper under reproduction evaluates Swift and HPCC only; TIMELY is
+// provided as the third sender-side reaction protocol of Section II and as
+// the substrate for the hyper-AI comparison bench.
+#pragma once
+
+#include <cstdint>
+
+#include "cc/cc.h"
+#include "net/flow.h"
+
+namespace fastcc::cc {
+
+struct TimelyParams {
+  double ewma_alpha = 0.3;     ///< Weight of the newest RTT-difference.
+  double beta = 0.8;           ///< Multiplicative-decrease strength.
+  sim::Rate additive_step = sim::gbps(0.05);  ///< delta (50 Mbps).
+  sim::Time t_low = 0;         ///< Below: always increase. 0 = base_rtt+2us.
+  sim::Time t_high = 0;        ///< Above: always decrease. 0 = base_rtt+20us.
+  int hai_threshold = 5;       ///< Gradient-negative updates to enter HAI.
+  int hai_multiplier = 5;      ///< N: HAI step = N x delta.
+  bool use_hai = true;
+  sim::Rate min_rate = sim::gbps(0.1);
+};
+
+class Timely final : public CongestionControl {
+ public:
+  explicit Timely(const TimelyParams& params) : p_(params) {}
+
+  void on_flow_start(net::FlowTx& flow) override;
+  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
+  const char* name() const override { return "timely"; }
+
+  double normalized_gradient() const { return rtt_diff_ / min_rtt_; }
+  bool in_hai() const { return negative_streak_ >= p_.hai_threshold; }
+  sim::Rate current_rate() const { return rate_; }
+
+ private:
+  TimelyParams p_;
+  sim::Rate rate_ = 0.0;
+  sim::Time prev_rtt_ = -1;
+  double rtt_diff_ = 0.0;      ///< EWMA of consecutive RTT differences, ns.
+  double min_rtt_ = 1.0;       ///< Normalization base (the unloaded RTT).
+  int negative_streak_ = 0;
+  sim::Time last_decrease_time_ = -1;  ///< MD gate: once per RTT.
+};
+
+}  // namespace fastcc::cc

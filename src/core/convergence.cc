@@ -1,0 +1,33 @@
+#include "core/convergence.h"
+
+#include <algorithm>
+
+namespace fastcc::core {
+
+ConvergenceSummary summarize_convergence(const stats::TimeSeries& jain,
+                                         double threshold) {
+  ConvergenceSummary s;
+  const auto& pts = jain.points();
+  if (pts.empty()) return s;
+
+  s.settle_time = jain.settle_time(threshold);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double v = pts[i].value;
+    sum += v;
+    if (s.first_reach_time < 0 && v >= threshold) {
+      s.first_reach_time = pts[i].t;
+    }
+    if (i > 0) {
+      const double dt = static_cast<double>(pts[i].t - pts[i - 1].t);
+      const double deficit =
+          (1.0 - pts[i].value + 1.0 - pts[i - 1].value) / 2.0;
+      s.unfairness_integral_ns += std::max(deficit, 0.0) * dt;
+      s.worst_index = std::min(s.worst_index, v);
+    }
+  }
+  s.mean_index = sum / static_cast<double>(pts.size());
+  return s;
+}
+
+}  // namespace fastcc::core

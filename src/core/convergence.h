@@ -1,0 +1,32 @@
+// Convergence-to-fairness metrics (the paper's "third metric", Section I).
+//
+// The paper argues latency and throughput are not enough: how *fast* an
+// unfair allocation becomes fair determines long-flow tails.  These helpers
+// condense a Jain-index time series into comparable scalars.
+#pragma once
+
+#include "sim/time.h"
+#include "stats/timeseries.h"
+
+namespace fastcc::core {
+
+struct ConvergenceSummary {
+  /// First time the index reaches `threshold` (and never drops below it
+  /// again); -1 if it never settles.
+  sim::Time settle_time = -1;
+  /// First time the index touches `threshold` at all; -1 if never.
+  sim::Time first_reach_time = -1;
+  /// Integral of (1 - index) dt over the series: the total "unfairness debt"
+  /// accumulated during the run (lower is better).  Trapezoidal.
+  double unfairness_integral_ns = 0.0;
+  /// Mean index over the series.
+  double mean_index = 0.0;
+  /// Lowest index observed after the first sample (depth of the unfair dip).
+  double worst_index = 1.0;
+};
+
+/// Summarizes a Jain-index series against a fairness threshold.
+ConvergenceSummary summarize_convergence(const stats::TimeSeries& jain,
+                                         double threshold = 0.9);
+
+}  // namespace fastcc::core

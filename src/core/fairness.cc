@@ -1,0 +1,36 @@
+#include "core/fairness.h"
+
+namespace fastcc::core {
+
+double jain_index(std::span<const double> allocations) {
+  if (allocations.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : allocations) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq == 0.0) return 1.0;
+  const double n = static_cast<double>(allocations.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+double JainSampler::sample(sim::Time window_start, sim::Time now) {
+  std::vector<double> throughput;
+  throughput.reserve(flows_.size());
+  for (std::size_t i = 0; i < flows_.size(); ++i) {
+    const net::FlowTx& f = *flows_[i];
+    const std::uint64_t acked = f.cum_acked;
+    const std::uint64_t delta = acked - last_acked_[i];
+    last_acked_[i] = acked;
+    const bool started = f.spec.start_time <= now;
+    const bool finished_before_window =
+        f.finished() && f.finish_time < window_start;
+    if (!started || finished_before_window) continue;
+    throughput.push_back(static_cast<double>(delta));
+  }
+  if (throughput.empty()) return -1.0;
+  return jain_index(throughput);
+}
+
+}  // namespace fastcc::core

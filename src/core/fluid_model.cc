@@ -1,0 +1,77 @@
+#include "core/fluid_model.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fastcc::core {
+
+double sampling_frequency_rate(double s0_bytes_per_ns, double t_ns,
+                               const FluidModelParams& p) {
+  assert(s0_bytes_per_ns > 0.0);
+  const double inv = 1.0 / s0_bytes_per_ns +
+                     p.beta * t_ns / (p.s_acks * p.mtu_bytes);
+  return 1.0 / inv;
+}
+
+double per_rtt_rate(double r0_bytes_per_ns, double t_ns,
+                    const FluidModelParams& p) {
+  return r0_bytes_per_ns * std::exp(-p.beta * t_ns / p.rtt_ns);
+}
+
+namespace {
+double sf_derivative(double rate, const FluidModelParams& p) {
+  return -p.beta * rate * rate / (p.s_acks * p.mtu_bytes);
+}
+double rtt_derivative(double rate, const FluidModelParams& p) {
+  return -p.beta * rate / p.rtt_ns;
+}
+
+template <typename Deriv>
+double rk4(double y0, double t_end, double dt, Deriv f) {
+  double y = y0;
+  double t = 0.0;
+  while (t < t_end) {
+    const double h = std::min(dt, t_end - t);
+    const double k1 = f(y);
+    const double k2 = f(y + 0.5 * h * k1);
+    const double k3 = f(y + 0.5 * h * k2);
+    const double k4 = f(y + h * k3);
+    y += h / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    t += h;
+  }
+  return y;
+}
+}  // namespace
+
+FluidRates integrate_rk4(double initial_rate, double t_ns, double dt_ns,
+                         const FluidModelParams& p) {
+  FluidRates out;
+  out.sf_rate =
+      rk4(initial_rate, t_ns, dt_ns, [&p](double y) { return sf_derivative(y, p); });
+  out.rtt_rate = rk4(initial_rate, t_ns, dt_ns,
+                     [&p](double y) { return rtt_derivative(y, p); });
+  return out;
+}
+
+std::vector<FairnessPoint> fairness_difference_series(
+    double fast_rate, double slow_rate, double horizon_ns, double step_ns,
+    const FluidModelParams& p) {
+  std::vector<FairnessPoint> series;
+  for (double t = 0.0; t <= horizon_ns; t += step_ns) {
+    FairnessPoint pt;
+    pt.t_ns = t;
+    pt.sf_gap = sampling_frequency_rate(fast_rate, t, p) -
+                sampling_frequency_rate(slow_rate, t, p);
+    pt.rtt_gap = per_rtt_rate(fast_rate, t, p) - per_rtt_rate(slow_rate, t, p);
+    pt.difference = pt.rtt_gap - pt.sf_gap;
+    series.push_back(pt);
+  }
+  return series;
+}
+
+bool sf_converges_faster(double fast_rate, double slow_rate,
+                         const FluidModelParams& p) {
+  return 1.0 / p.rtt_ns < (fast_rate + slow_rate) / (p.s_acks * p.mtu_bytes);
+}
+
+}  // namespace fastcc::core

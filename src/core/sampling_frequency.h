@@ -1,0 +1,40 @@
+// Sampling Frequency (Section IV-B / V-B).
+//
+// Instead of reacting to at most one congestion signal per RTT, a protocol
+// using Sampling Frequency commits a rate *decrease* every `s` ACKs.  Flows
+// with more bandwidth receive more ACKs and therefore decrease more often,
+// which is precisely the per-signal fairness effect that once-per-RTT
+// reaction destroys (Section III-B).  Rate increases stay on the per-RTT
+// schedule — increasing per ACK would favour fast flows and undo the gain.
+#pragma once
+
+namespace fastcc::core {
+
+class SamplingFrequency {
+ public:
+  /// `acks_per_decrease` == 0 disables SF (protocol falls back to per-RTT).
+  explicit SamplingFrequency(int acks_per_decrease = 0)
+      : s_(acks_per_decrease) {}
+
+  bool enabled() const { return s_ > 0; }
+  int period() const { return s_; }
+
+  /// Counts one ACK; returns true when a decrease-commit is due.
+  bool tick() {
+    if (!enabled()) return false;
+    if (++count_ >= s_) {
+      count_ = 0;
+      return true;
+    }
+    return false;
+  }
+
+  void reset() { count_ = 0; }
+  int acks_since_commit() const { return count_; }
+
+ private:
+  int s_;
+  int count_ = 0;
+};
+
+}  // namespace fastcc::core

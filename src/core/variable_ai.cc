@@ -1,0 +1,42 @@
+#include "core/variable_ai.h"
+
+namespace fastcc::core {
+
+void VariableAi::on_rtt_boundary(bool no_congestion_entire_rtt) {
+  if (!p_.enabled) return;
+  const double measured = rtt_max_congestion_;
+
+  // Algorithm 1, lines 2-4: mint tokens proportional to congestion beyond
+  // the threshold (a queue roughly one path-BDP deep implies a new sender).
+  if (measured > p_.token_thresh) {
+    bank_ = std::min(measured / p_.ai_div + bank_, p_.bank_cap);
+  }
+
+  // Algorithm 1, lines 5-13: dampener bookkeeping.  The dampener climbs with
+  // congestion severity and only unwinds once the bank has drained.
+  if (measured > p_.token_thresh) {
+    dampener_ += measured / p_.token_thresh;
+  } else if (bank_ == 0.0) {
+    if (no_congestion_entire_rtt) {
+      dampener_ = 0.0;
+    } else if (measured < p_.token_thresh) {
+      dampener_ = std::max(dampener_ - 1.0, 0.0);
+    }
+  }
+
+  rtt_max_congestion_ = 0.0;  // Algorithm 1, line 14
+}
+
+double VariableAi::ai_multiplier(bool spend) {
+  if (!p_.enabled) return 1.0;
+  // Algorithm 2.
+  double tokens = std::min(p_.ai_cap, bank_);
+  if (spend) {
+    bank_ = std::max(bank_ - tokens, 0.0);
+  }
+  const double divisor = dampener_ / p_.dampener_constant + 1.0;
+  tokens = std::max(tokens / divisor, 1.0);
+  return tokens;
+}
+
+}  // namespace fastcc::core

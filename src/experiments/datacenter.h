@@ -1,0 +1,43 @@
+// Datacenter simulation driver (Figures 10-13).
+//
+// Runs Poisson CDF-driven traffic over the fat-tree and records a FlowRecord
+// per completed flow; the slowdown tables in stats/fct.h turn those into the
+// paper's FCT-slowdown-vs-size figures.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/protocols.h"
+#include "stats/fct.h"
+#include "topo/fat_tree.h"
+#include "workload/poisson.h"
+
+namespace fastcc::exp {
+
+struct DatacenterConfig {
+  Variant variant = Variant::kHpcc;
+  topo::FatTreeParams topo = topo::scaled_fat_tree();
+  std::vector<workload::TrafficComponent> components;  ///< Workload mix.
+  double load = 0.5;
+  sim::Time generate_duration = 2 * sim::kMillisecond;  ///< Arrival window.
+  sim::Time max_sim_time = 400 * sim::kMillisecond;     ///< Drain cap.
+  std::uint64_t seed = 1;
+
+  /// When non-empty, replay these flows (src/dst as host indices — e.g.
+  /// loaded via workload::load_flow_trace) instead of generating traffic;
+  /// `components`/`load`/`generate_duration` are then ignored.
+  std::vector<net::FlowSpec> preset_flows;
+};
+
+struct DatacenterResult {
+  std::vector<stats::FlowRecord> flows;
+  std::uint64_t drops = 0;
+  std::uint64_t events_executed = 0;
+  sim::Time end_time = 0;
+  std::size_t unfinished = 0;  ///< Flows still running at max_sim_time.
+};
+
+DatacenterResult run_datacenter(const DatacenterConfig& config);
+
+}  // namespace fastcc::exp

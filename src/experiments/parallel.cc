@@ -1,0 +1,52 @@
+#include "experiments/parallel.h"
+
+#include <atomic>
+
+namespace fastcc::exp {
+
+void parallel_for_index(std::size_t count, unsigned max_threads,
+                        const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  unsigned workers = max_threads == 0
+                         ? std::max(1u, std::thread::hardware_concurrency())
+                         : max_threads;
+  workers = static_cast<unsigned>(
+      std::min<std::size_t>(workers, count));
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+std::vector<IncastResult> run_incast_parallel(
+    const std::vector<IncastConfig>& configs, unsigned max_threads) {
+  std::vector<IncastResult> results(configs.size());
+  parallel_for_index(configs.size(), max_threads, [&](std::size_t i) {
+    results[i] = run_incast(configs[i]);
+  });
+  return results;
+}
+
+std::vector<DatacenterResult> run_datacenter_parallel(
+    const std::vector<DatacenterConfig>& configs, unsigned max_threads) {
+  std::vector<DatacenterResult> results(configs.size());
+  parallel_for_index(configs.size(), max_threads, [&](std::size_t i) {
+    results[i] = run_datacenter(configs[i]);
+  });
+  return results;
+}
+
+}  // namespace fastcc::exp

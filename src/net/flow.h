@@ -1,0 +1,80 @@
+// Flow specification and per-flow sender state.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+
+#include "cc/cc.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace fastcc::net {
+
+/// Immutable description of a flow: who talks to whom, how much, and when.
+struct FlowSpec {
+  FlowId id = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  std::uint64_t size_bytes = 0;
+  sim::Time start_time = 0;
+};
+
+/// Sender-side transmission state for one flow.  Congestion control mutates
+/// `window_bytes` and `rate`; the host NIC enforces both (a packet is
+/// released only when in-flight bytes fit the window *and* the pacing clock
+/// allows it).
+struct FlowTx {
+  FlowSpec spec;
+
+  std::uint64_t snd_nxt = 0;     ///< Next payload byte to send.
+  std::uint64_t cum_acked = 0;   ///< Highest cumulatively acked byte.
+
+  double window_bytes = 0.0;
+  sim::Rate rate = 0.0;
+
+  // Path constants, filled in by the experiment when the flow is installed.
+  sim::Rate line_rate = 0.0;     ///< Host NIC speed.
+  sim::Time base_rtt = 0;        ///< Unloaded RTT along the flow's path.
+  std::uint32_t mtu = kDefaultMtu;
+  int path_hops = 0;             ///< Forward-path link count (host->...->host).
+
+  sim::Time finish_time = -1;    ///< Sender saw the final cumulative ACK.
+  bool finished() const { return finish_time >= 0; }
+
+  std::uint64_t acks_received = 0;
+
+  // ---- Loss recovery (go-back-N) ----
+  // The paper's experiments are lossless (PFC / deep buffers), but the
+  // simulator is complete for lossy configurations: receivers ACK
+  // cumulatively, and the sender rewinds snd_nxt on triple-duplicate ACKs or
+  // on a retransmission timeout.
+  std::uint64_t bytes_retransmitted = 0;
+  std::uint32_t retransmit_events = 0;
+  std::uint32_t dup_acks = 0;
+  sim::Time rto = 0;               ///< 0 = derive as 3 x base_rtt at start.
+  sim::Time last_progress_time = 0;
+  sim::Time last_retransmit_time = -1;
+  sim::EventId rto_timer = 0;
+  bool rto_timer_armed = false;
+
+  // Pacing bookkeeping (owned by Host).
+  sim::Time next_tx_time = 0;
+  sim::EventId pacing_timer = 0;
+  bool pacing_timer_armed = false;
+
+  std::unique_ptr<cc::CongestionControl> cc;
+
+  std::uint64_t inflight_bytes() const { return snd_nxt - cum_acked; }
+  bool all_sent() const { return snd_nxt >= spec.size_bytes; }
+
+  /// Window of at least one MTU is always grantable so flows cannot stall
+  /// permanently at a zero window.
+  static constexpr double kMinWindowBytes = 1.0;
+  /// "Unlimited" window for pure rate-based protocols (DCQCN).
+  static constexpr double kUnlimitedWindow =
+      std::numeric_limits<double>::max() / 4;
+};
+
+}  // namespace fastcc::net

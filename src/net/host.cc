@@ -1,0 +1,208 @@
+#include "net/host.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace fastcc::net {
+
+void Host::start_flow(FlowTx flow) {
+  assert(flow.spec.src == id() && "flow must be sourced at this host");
+  assert(flow.cc != nullptr && "flow needs a congestion controller");
+  assert(flow.line_rate > 0 && flow.base_rtt > 0 && flow.mtu > 0);
+  const FlowId fid = flow.spec.id;
+  auto [it, inserted] = tx_flows_.emplace(fid, std::move(flow));
+  assert(inserted && "duplicate flow id");
+  FlowTx& f = it->second;
+  ++active_flows_;
+  if (f.rto == 0) f.rto = std::max<sim::Time>(3 * f.base_rtt, min_rto_);
+  f.last_progress_time = sim_.now();
+  f.cc->on_flow_start(f);
+  f.next_tx_time = sim_.now();
+  try_send(f);
+}
+
+const FlowTx* Host::flow(FlowId fid) const {
+  auto it = tx_flows_.find(fid);
+  return it == tx_flows_.end() ? nullptr : &it->second;
+}
+
+FlowTx* Host::mutable_flow(FlowId fid) {
+  auto it = tx_flows_.find(fid);
+  return it == tx_flows_.end() ? nullptr : &it->second;
+}
+
+sim::Rate Host::total_send_rate() const {
+  sim::Rate sum = 0.0;
+  for (const auto& [fid, f] : tx_flows_) {
+    if (!f.finished()) sum += std::min(f.rate, f.line_rate);
+  }
+  return sum;
+}
+
+void Host::receive(Packet&& p, int in_port) {
+  (void)in_port;
+  consume(p);  // release PFC ingress accounting: hosts sink packets
+  switch (p.type) {
+    case PacketType::kData:
+      handle_data(std::move(p));
+      break;
+    case PacketType::kAck:
+      handle_ack(p);
+      break;
+    default:
+      break;  // PFC frames are handled in Node::deliver
+  }
+}
+
+void Host::handle_data(Packet&& p) {
+  assert(p.dst == id());
+  RxState& rx = rx_flows_[p.flow];
+  rx.bytes_received += p.payload_bytes;
+  // Cumulative in-order tracking: a gap (upstream drop) freezes expected_seq
+  // and the resulting duplicate ACKs trigger the sender's go-back-N.
+  if (p.seq <= rx.expected_seq) {
+    rx.expected_seq = std::max<std::uint64_t>(rx.expected_seq,
+                                              p.seq + p.payload_bytes);
+  }
+
+  Packet ack = make_ack(p, sim_.now());
+  ack.seq = rx.expected_seq;  // cumulative ACK
+  // DCQCN: at most one congestion-notification per flow per cnp_interval_.
+  if (p.ecn) {
+    if (rx.last_cnp_time < 0 ||
+        sim_.now() - rx.last_cnp_time >= cnp_interval_) {
+      ack.cnp = true;
+      rx.last_cnp_time = sim_.now();
+    }
+  }
+  assert(port_count() > 0 && port(0).connected());
+  port(0).enqueue(std::move(ack));
+}
+
+void Host::handle_ack(const Packet& p) {
+  auto it = tx_flows_.find(p.flow);
+  if (it == tx_flows_.end()) return;
+  FlowTx& f = it->second;
+  if (f.finished()) return;
+  ++f.acks_received;
+
+  if (p.seq <= f.cum_acked) {
+    // Duplicate cumulative ACK: the receiver saw a gap.  Triple-dup triggers
+    // fast retransmit (go-back-N), rate-limited to one rewind per RTT so the
+    // stale ACKs of an already-rewound window cannot re-trigger it.
+    ++f.dup_acks;
+    if (f.dup_acks >= 3 && f.snd_nxt > f.cum_acked &&
+        (f.last_retransmit_time < 0 ||
+         sim_.now() - f.last_retransmit_time >= f.base_rtt)) {
+      retransmit_from_cum_ack(f);
+      try_send(f);
+    }
+    return;
+  }
+
+  const auto newly = static_cast<std::uint32_t>(p.seq - f.cum_acked);
+  f.cum_acked = p.seq;
+  f.dup_acks = 0;
+  f.last_progress_time = sim_.now();
+
+  cc::AckContext ctx;
+  ctx.now = sim_.now();
+  ctx.rtt = sim_.now() - p.host_ts;
+  ctx.ack_seq = p.seq;
+  ctx.bytes_acked = newly;
+  ctx.ecn = p.ecn;
+  ctx.cnp = p.cnp;
+  ctx.ints = std::span<const IntRecord>(p.ints.data(), p.int_count);
+  f.cc->on_ack(ctx, f);
+
+  if (f.cum_acked >= f.spec.size_bytes) {
+    f.finish_time = sim_.now();
+    assert(active_flows_ > 0);
+    --active_flows_;
+    if (f.pacing_timer_armed) {
+      sim_.cancel(f.pacing_timer);
+      f.pacing_timer_armed = false;
+    }
+    if (f.rto_timer_armed) {
+      sim_.cancel(f.rto_timer);
+      f.rto_timer_armed = false;
+    }
+    if (on_complete_) on_complete_(f);
+    return;
+  }
+  try_send(f);
+}
+
+void Host::try_send(FlowTx& f) {
+  while (!f.all_sent()) {
+    const std::uint32_t payload = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        f.mtu, f.spec.size_bytes - f.snd_nxt));
+    // Window gate: always allow one packet in flight so sub-MTU windows make
+    // progress (pacing then sets the speed, as in Swift's cwnd < 1 regime).
+    const bool window_ok =
+        f.inflight_bytes() == 0 ||
+        static_cast<double>(f.inflight_bytes() + payload) <= f.window_bytes;
+    if (!window_ok) return;  // an ACK will reopen the window
+    if (sim_.now() < f.next_tx_time) {
+      arm_pacing_timer(f, f.next_tx_time);
+      return;
+    }
+    Packet p = make_data(f.spec.id, f.spec.src, f.spec.dst, f.snd_nxt, payload,
+                         sim_.now());
+    f.snd_nxt += payload;
+    // Pace on wire bytes at the flow's current rate (capped at line rate —
+    // the NIC cannot serialize faster even if CC asks for more).
+    const sim::Rate pace = std::min(f.rate, f.line_rate);
+    assert(pace > 0.0);
+    f.next_tx_time = std::max(f.next_tx_time, sim_.now()) +
+                     sim::serialization_time(p.wire_bytes, pace);
+    assert(port_count() > 0 && port(0).connected());
+    port(0).enqueue(std::move(p));
+    arm_rto_timer(f);
+  }
+}
+
+void Host::retransmit_from_cum_ack(FlowTx& f) {
+  assert(f.snd_nxt > f.cum_acked);
+  f.bytes_retransmitted += f.snd_nxt - f.cum_acked;
+  ++f.retransmit_events;
+  f.dup_acks = 0;
+  f.last_retransmit_time = sim_.now();
+  f.last_progress_time = sim_.now();  // restart the RTO clock
+  f.snd_nxt = f.cum_acked;
+  f.next_tx_time = std::max(f.next_tx_time, sim_.now());
+}
+
+void Host::arm_rto_timer(FlowTx& f) {
+  if (f.rto_timer_armed || f.finished()) return;
+  f.rto_timer_armed = true;
+  const FlowId fid = f.spec.id;
+  const sim::Time deadline =
+      std::max(f.last_progress_time + f.rto, sim_.now() + 1);
+  f.rto_timer = sim_.at(deadline, [this, fid] {
+    FlowTx* flow_state = mutable_flow(fid);
+    if (flow_state == nullptr || flow_state->finished()) return;
+    flow_state->rto_timer_armed = false;
+    if (flow_state->inflight_bytes() == 0) return;  // re-armed on next send
+    if (sim_.now() - flow_state->last_progress_time >= flow_state->rto) {
+      retransmit_from_cum_ack(*flow_state);
+      try_send(*flow_state);
+    }
+    arm_rto_timer(*flow_state);
+  });
+}
+
+void Host::arm_pacing_timer(FlowTx& f, sim::Time when) {
+  if (f.pacing_timer_armed) return;
+  f.pacing_timer_armed = true;
+  const FlowId fid = f.spec.id;
+  f.pacing_timer = sim_.at(when, [this, fid] {
+    FlowTx* flow_state = mutable_flow(fid);
+    if (flow_state == nullptr || flow_state->finished()) return;
+    flow_state->pacing_timer_armed = false;
+    try_send(*flow_state);
+  });
+}
+
+}  // namespace fastcc::net

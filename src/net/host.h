@@ -1,0 +1,79 @@
+// Host: an end-host with an RDMA-style NIC.
+//
+// The sender combines window limiting (in-flight bytes < window) with token-
+// bucket pacing (one packet per payload/rate interval), which covers all
+// three protocol families: window+pacing (HPCC: R = W/T), window/ack-clocked
+// (Swift), and pure rate (DCQCN, window unlimited).  Receivers generate one
+// ACK per data packet carrying the echoed INT stack, RTT timestamp, ECN echo,
+// and (rate-limited) DCQCN CNP flag.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/flow.h"
+#include "net/node.h"
+
+namespace fastcc::net {
+
+class Host : public Node {
+ public:
+  /// Invoked when the sender observes the final cumulative ACK.
+  using CompletionCallback = std::function<void(const FlowTx&)>;
+
+  Host(sim::Simulator& simulator, NodeId id, std::string name)
+      : Node(simulator, id, std::move(name)) {}
+
+  /// Installs and immediately starts a flow sourced at this host.  `flow.cc`
+  /// must be set; path constants (line_rate, base_rtt, path_hops) must be
+  /// filled in.  Transmission begins now.
+  void start_flow(FlowTx flow);
+
+  void set_completion_callback(CompletionCallback cb) {
+    on_complete_ = std::move(cb);
+  }
+
+  /// Minimum interval between CNP-flagged ACKs per flow (DCQCN: 50 us).
+  void set_cnp_interval(sim::Time t) { cnp_interval_ = t; }
+
+  /// Lower bound on the per-flow retransmission timeout (flows derive
+  /// rto = max(3 x base_rtt, this) unless FlowTx.rto is preset).  The
+  /// default (1 ms) matches datacenter transports and sits far above any
+  /// PFC-bounded queueing delay, so lossless runs never time out spuriously.
+  void set_min_rto(sim::Time t) { min_rto_ = t; }
+
+  const FlowTx* flow(FlowId id) const;
+  FlowTx* mutable_flow(FlowId id);
+  std::size_t active_flow_count() const { return active_flows_; }
+
+  /// Sum of current pacing rates of unfinished flows (fairness sampling).
+  sim::Rate total_send_rate() const;
+
+ protected:
+  void receive(Packet&& p, int in_port) override;
+
+ private:
+  void handle_data(Packet&& p);
+  void handle_ack(const Packet& p);
+  void try_send(FlowTx& f);
+  void arm_pacing_timer(FlowTx& f, sim::Time when);
+  void arm_rto_timer(FlowTx& f);
+  /// Go-back-N: rewinds snd_nxt to the cumulative ACK point.
+  void retransmit_from_cum_ack(FlowTx& f);
+
+  struct RxState {
+    std::uint64_t bytes_received = 0;  ///< Raw arrivals (incl. duplicates).
+    std::uint64_t expected_seq = 0;    ///< Next in-order byte (cumulative).
+    sim::Time last_cnp_time = -1;
+  };
+
+  std::unordered_map<FlowId, FlowTx> tx_flows_;
+  std::unordered_map<FlowId, RxState> rx_flows_;
+  std::size_t active_flows_ = 0;
+  CompletionCallback on_complete_;
+  sim::Time cnp_interval_ = 50 * sim::kMicrosecond;
+  sim::Time min_rto_ = 1 * sim::kMillisecond;
+};
+
+}  // namespace fastcc::net

@@ -1,0 +1,61 @@
+#include "net/monitor.h"
+
+#include <utility>
+
+namespace fastcc::net {
+
+QueueMonitor::QueueMonitor(sim::Simulator& simulator, const Port& port,
+                           sim::Time interval, std::string label,
+                           std::function<bool()> keep_running)
+    : sim_(simulator),
+      port_(port),
+      interval_(interval),
+      series_(std::move(label)),
+      keep_running_(std::move(keep_running)) {}
+
+void QueueMonitor::start() {
+  sim_.after(interval_, [this] { sample(); });
+}
+
+void QueueMonitor::sample() {
+  series_.add(sim_.now(), static_cast<double>(port_.data_queue_bytes()));
+  if (keep_running_ == nullptr || keep_running_()) {
+    sim_.after(interval_, [this] { sample(); });
+  }
+}
+
+UtilizationMonitor::UtilizationMonitor(sim::Simulator& simulator,
+                                       const Port& port, sim::Time interval,
+                                       std::string label,
+                                       std::function<bool()> keep_running)
+    : sim_(simulator),
+      port_(port),
+      interval_(interval),
+      series_(std::move(label)),
+      keep_running_(std::move(keep_running)) {}
+
+void UtilizationMonitor::start() {
+  last_tx_bytes_ = port_.tx_bytes_total();
+  sim_.after(interval_, [this] { sample(); });
+}
+
+void UtilizationMonitor::sample() {
+  const std::uint64_t tx = port_.tx_bytes_total();
+  const double sent = static_cast<double>(tx - last_tx_bytes_);
+  last_tx_bytes_ = tx;
+  const double capacity =
+      port_.bandwidth() * static_cast<double>(interval_);
+  series_.add(sim_.now(), capacity > 0.0 ? sent / capacity : 0.0);
+  if (keep_running_ == nullptr || keep_running_()) {
+    sim_.after(interval_, [this] { sample(); });
+  }
+}
+
+double UtilizationMonitor::mean_utilization() const {
+  if (series_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& p : series_.points()) sum += p.value;
+  return sum / static_cast<double>(series_.size());
+}
+
+}  // namespace fastcc::net

@@ -1,0 +1,65 @@
+// Periodic network monitors: queue-depth and link-utilization sampling.
+//
+// Experiments attach monitors to ports of interest; each monitor re-arms
+// itself on the simulator until stopped (or until its stop predicate fires),
+// accumulating a TimeSeries that the stats/bench layers consume.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "net/port.h"
+#include "sim/simulator.h"
+#include "stats/timeseries.h"
+
+namespace fastcc::net {
+
+/// Samples the data backlog of one egress port on a fixed interval.
+class QueueMonitor {
+ public:
+  /// `keep_running` is consulted each sample; returning false stops the
+  /// monitor (and no further events are scheduled).
+  QueueMonitor(sim::Simulator& simulator, const Port& port,
+               sim::Time interval, std::string label,
+               std::function<bool()> keep_running = nullptr);
+
+  void start();
+  const stats::TimeSeries& series() const { return series_; }
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  const Port& port_;
+  sim::Time interval_;
+  stats::TimeSeries series_;
+  std::function<bool()> keep_running_;
+};
+
+/// Samples the delivered throughput (bytes/ns) of one egress port per
+/// interval, from the port's cumulative tx counter.
+class UtilizationMonitor {
+ public:
+  UtilizationMonitor(sim::Simulator& simulator, const Port& port,
+                     sim::Time interval, std::string label,
+                     std::function<bool()> keep_running = nullptr);
+
+  void start();
+  /// Fraction of link capacity used per interval, in [0, ~1].
+  const stats::TimeSeries& series() const { return series_; }
+  /// Mean utilization across all samples so far.
+  double mean_utilization() const;
+
+ private:
+  void sample();
+
+  sim::Simulator& sim_;
+  const Port& port_;
+  sim::Time interval_;
+  stats::TimeSeries series_;
+  std::function<bool()> keep_running_;
+  std::uint64_t last_tx_bytes_ = 0;
+};
+
+}  // namespace fastcc::net

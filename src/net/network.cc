@@ -1,0 +1,140 @@
+#include "net/network.h"
+
+#include <cassert>
+#include <deque>
+#include <limits>
+
+namespace fastcc::net {
+
+Network::Network(sim::Simulator& simulator, std::uint64_t seed)
+    : sim_(simulator), rng_(seed) {}
+
+Host* Network::add_host(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto host = std::make_unique<Host>(sim_, id, name);
+  Host* raw = host.get();
+  nodes_.push_back(std::move(host));
+  hosts_.push_back(raw);
+  return raw;
+}
+
+SwitchNode* Network::add_switch(const std::string& name) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  auto sw = std::make_unique<SwitchNode>(sim_, id, name);
+  SwitchNode* raw = sw.get();
+  nodes_.push_back(std::move(sw));
+  switches_.push_back(raw);
+  return raw;
+}
+
+void Network::connect(Node& a, Node& b, sim::Rate bandwidth,
+                      sim::Time prop_delay) {
+  assert(!routes_built_ && "topology is frozen after build_routes()");
+  const int pa = a.add_port();
+  const int pb = b.add_port();
+  a.port(pa).connect(&b, pb, bandwidth, prop_delay);
+  b.port(pb).connect(&a, pa, bandwidth, prop_delay);
+  a.port(pa).set_rng(&rng_);
+  b.port(pb).set_rng(&rng_);
+}
+
+std::vector<int> Network::hop_distances(NodeId dst) const {
+  std::vector<int> dist(nodes_.size(), std::numeric_limits<int>::max());
+  std::deque<NodeId> frontier{dst};
+  dist[dst] = 0;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    const Node& n = *nodes_[cur];
+    for (int i = 0; i < n.port_count(); ++i) {
+      if (!n.port(i).connected()) continue;
+      const NodeId nb = n.port(i).peer()->id();
+      if (dist[nb] > dist[cur] + 1) {
+        dist[nb] = dist[cur] + 1;
+        frontier.push_back(nb);
+      }
+    }
+  }
+  return dist;
+}
+
+void Network::build_routes() {
+  for (Host* dst : hosts_) {
+    const std::vector<int> dist = hop_distances(dst->id());
+    for (SwitchNode* sw : switches_) {
+      if (dist[sw->id()] == std::numeric_limits<int>::max()) continue;
+      std::vector<int> candidates;
+      for (int i = 0; i < sw->port_count(); ++i) {
+        if (!sw->port(i).connected()) continue;
+        const NodeId nb = sw->port(i).peer()->id();
+        if (dist[nb] == dist[sw->id()] - 1) candidates.push_back(i);
+      }
+      if (!candidates.empty()) sw->set_routes(dst->id(), std::move(candidates));
+    }
+  }
+  routes_built_ = true;
+}
+
+PathInfo Network::path(NodeId src, NodeId dst, std::uint32_t mtu) const {
+  assert(src < nodes_.size() && dst < nodes_.size());
+  PathInfo info;
+  if (src == dst) return info;
+  const std::vector<int> dist = hop_distances(dst);
+  assert(dist[src] != std::numeric_limits<int>::max() && "no path");
+  info.hops = dist[src];
+  info.bottleneck = std::numeric_limits<sim::Rate>::max();
+
+  // Walk one shortest path; the topologies here are bandwidth-symmetric
+  // across equal-cost paths, so any shortest path yields the same metrics.
+  NodeId cur = src;
+  while (cur != dst) {
+    const Node& n = *nodes_[cur];
+    const Port* next = nullptr;
+    for (int i = 0; i < n.port_count(); ++i) {
+      if (!n.port(i).connected()) continue;
+      if (dist[n.port(i).peer()->id()] == dist[cur] - 1) {
+        next = &n.port(i);
+        break;
+      }
+    }
+    assert(next != nullptr);
+    info.one_way_delay += next->propagation_delay() +
+                          sim::serialization_time(mtu + kHeaderBytes,
+                                                  next->bandwidth());
+    info.base_rtt += 2 * next->propagation_delay() +
+                     sim::serialization_time(mtu + kHeaderBytes,
+                                             next->bandwidth()) +
+                     sim::serialization_time(kAckBytes, next->bandwidth());
+    info.bottleneck = std::min(info.bottleneck, next->bandwidth());
+    info.link_bandwidths.push_back(next->bandwidth());
+    cur = next->peer()->id();
+  }
+  return info;
+}
+
+void Network::set_red_all(const RedParams& red) {
+  for (SwitchNode* sw : switches_) {
+    for (int i = 0; i < sw->port_count(); ++i) sw->port(i).set_red(red);
+  }
+}
+
+void Network::set_pfc_all(const PfcParams& pfc) {
+  for (SwitchNode* sw : switches_) sw->set_pfc(pfc);
+}
+
+void Network::set_buffer_limit_all(std::uint64_t bytes) {
+  for (SwitchNode* sw : switches_) {
+    for (int i = 0; i < sw->port_count(); ++i)
+      sw->port(i).set_buffer_limit(bytes);
+  }
+}
+
+std::uint64_t Network::total_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& n : nodes_) {
+    for (int i = 0; i < n->port_count(); ++i) drops += n->port(i).drops();
+  }
+  return drops;
+}
+
+}  // namespace fastcc::net

@@ -1,0 +1,79 @@
+#include "net/node.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fastcc::net {
+
+Node::Node(sim::Simulator& simulator, NodeId id, std::string name)
+    : sim_(simulator), id_(id), name_(std::move(name)) {}
+
+int Node::add_port() {
+  const int idx = static_cast<int>(ports_.size());
+  ports_.push_back(std::make_unique<Port>(sim_, this, idx));
+  ingress_bytes_.push_back(0);
+  ingress_paused_.push_back(false);
+  return idx;
+}
+
+void Node::deliver(Packet&& p, int in_port) {
+  assert(in_port >= 0 && in_port < port_count());
+  // PFC control frames act directly on the reverse-direction transmitter and
+  // never enter queues.
+  if (p.type == PacketType::kPfcPause || p.type == PacketType::kPfcResume) {
+    assert(p.pfc_port >= 0 && p.pfc_port < port_count());
+    ports_[p.pfc_port]->set_paused(p.type == PacketType::kPfcPause);
+    return;
+  }
+  p.ingress_port = in_port;
+  pfc_account(in_port, static_cast<std::int64_t>(p.wire_bytes));
+  receive(std::move(p), in_port);
+}
+
+void Node::on_packet_departed(const Packet& p) {
+  if (p.ingress_port >= 0) {
+    pfc_account(p.ingress_port, -static_cast<std::int64_t>(p.wire_bytes));
+  }
+}
+
+void Node::consume(const Packet& p) {
+  if (p.ingress_port >= 0) {
+    pfc_account(p.ingress_port, -static_cast<std::int64_t>(p.wire_bytes));
+  }
+}
+
+void Node::pfc_account(int in_port, std::int64_t delta_bytes) {
+  if (!pfc_.enabled()) return;
+  auto& bytes = ingress_bytes_[in_port];
+  assert(delta_bytes >= 0 ||
+         bytes >= static_cast<std::uint64_t>(-delta_bytes));
+  bytes = static_cast<std::uint64_t>(
+      static_cast<std::int64_t>(bytes) + delta_bytes);
+  if (!ingress_paused_[in_port] && bytes > pfc_.pause_bytes) {
+    ingress_paused_[in_port] = true;
+    send_pfc(in_port, /*pause=*/true);
+  } else if (ingress_paused_[in_port] && bytes <= pfc_.resume_bytes) {
+    ingress_paused_[in_port] = false;
+    send_pfc(in_port, /*pause=*/false);
+  }
+}
+
+void Node::send_pfc(int in_port, bool pause) {
+  Port& reverse = *ports_[in_port];
+  if (!reverse.connected()) return;
+  // PFC frames are tiny and sent at highest priority; model them as arriving
+  // after one propagation delay without consuming queue space.
+  Packet frame;
+  frame.type = pause ? PacketType::kPfcPause : PacketType::kPfcResume;
+  frame.wire_bytes = 64;
+  frame.pfc_port = reverse.peer_port();
+  Node* peer = reverse.peer();
+  const int arrival_port = reverse.peer_port();  // valid index on peer
+  sim_.after(reverse.propagation_delay(),
+             [peer, arrival_port, f = frame]() mutable {
+               Packet copy = f;
+               peer->deliver(std::move(copy), arrival_port);
+             });
+}
+
+}  // namespace fastcc::net

@@ -1,0 +1,78 @@
+// Node: common base for switches and hosts.
+//
+// A node owns its egress ports and the PFC ingress accounting shared by all
+// node types.  Packet arrival flows through deliver(), which updates PFC
+// state and hands the packet to the subclass via receive().
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "sim/simulator.h"
+
+namespace fastcc::net {
+
+/// Priority Flow Control thresholds, in bytes of per-ingress-port backlog.
+/// Pause fires when backlog exceeds `pause_bytes`; resume when it drops back
+/// below `resume_bytes`.  Disabled when pause_bytes == 0.
+struct PfcParams {
+  std::uint64_t pause_bytes = 0;
+  std::uint64_t resume_bytes = 0;
+  bool enabled() const { return pause_bytes > 0; }
+};
+
+class Node {
+ public:
+  Node(sim::Simulator& simulator, NodeId id, std::string name);
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  /// Creates a new (unconnected) egress port and returns its index.
+  int add_port();
+  Port& port(int i) { return *ports_[i]; }
+  const Port& port(int i) const { return *ports_[i]; }
+  int port_count() const { return static_cast<int>(ports_.size()); }
+
+  void set_pfc(const PfcParams& pfc) { pfc_ = pfc; }
+
+  /// Entry point for packets arriving off the wire.  `in_port` is the index
+  /// of this node's reverse-direction port for the arrival link.
+  void deliver(Packet&& p, int in_port);
+
+  /// Called by a Port when a packet starts serialization and thus leaves the
+  /// node's buffer: releases the PFC ingress accounting.
+  void on_packet_departed(const Packet& p);
+
+  sim::Simulator& simulator() { return sim_; }
+
+ protected:
+  /// Subclass packet handling (forwarding for switches, host protocol).
+  virtual void receive(Packet&& p, int in_port) = 0;
+
+  /// Consumes a packet at this node (hosts): releases PFC accounting.
+  void consume(const Packet& p);
+
+  sim::Simulator& sim_;
+
+ private:
+  void pfc_account(int in_port, std::int64_t delta_bytes);
+  void send_pfc(int in_port, bool pause);
+
+  NodeId id_;
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+
+  PfcParams pfc_;
+  std::vector<std::uint64_t> ingress_bytes_;
+  std::vector<bool> ingress_paused_;  // we told upstream to pause
+};
+
+}  // namespace fastcc::net

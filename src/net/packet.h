@@ -1,0 +1,114 @@
+// Packet model for the fastcc network substrate.
+//
+// Data packets accumulate one In-band Network Telemetry (INT) record per
+// traversed link; receivers echo the full record stack back on per-packet
+// ACKs, which is exactly the information HPCC consumes.  RTT-based protocols
+// (Swift) use the echoed host timestamp; ECN-based protocols (DCQCN) use the
+// echoed congestion-experienced bit.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace fastcc::net {
+
+using NodeId = std::uint32_t;
+using FlowId = std::uint32_t;
+
+inline constexpr NodeId kInvalidNode = 0xffffffffu;
+
+/// Maximum number of links a packet can traverse (fat-tree worst case is 6:
+/// host->ToR->Agg->Spine->Agg->ToR->host).
+inline constexpr int kMaxHops = 8;
+
+/// Wire overhead added to every data payload (Ethernet + IP + transport).
+inline constexpr std::uint32_t kHeaderBytes = 48;
+/// On-wire size of an ACK / control packet.
+inline constexpr std::uint32_t kAckBytes = 64;
+/// Default maximum payload per packet (the paper's MTU).
+inline constexpr std::uint32_t kDefaultMtu = 1000;
+
+enum class PacketType : std::uint8_t {
+  kData,
+  kAck,
+  kPfcPause,
+  kPfcResume,
+};
+
+/// One INT record, stamped by the egress port of each traversed link.
+struct IntRecord {
+  sim::Time timestamp = 0;      ///< Time the packet began transmission.
+  std::uint64_t tx_bytes = 0;   ///< Cumulative bytes sent on the link.
+  std::uint32_t qlen_bytes = 0; ///< Egress queue backlog left behind.
+  sim::Rate bandwidth = 0.0;    ///< Link capacity, bytes/ns.
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  FlowId flow = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+
+  /// First payload byte offset for data; cumulative-ack offset for ACKs.
+  std::uint64_t seq = 0;
+  std::uint32_t payload_bytes = 0;
+  std::uint32_t wire_bytes = 0;
+
+  bool ecn = false;       ///< Congestion-experienced mark (set by RED).
+  bool cnp = false;       ///< DCQCN congestion-notification flag on ACKs.
+
+  sim::Time host_ts = 0;  ///< Sender timestamp; echoed on the ACK.
+
+  /// INT stack (data: accumulated per hop; ACK: echoed copy).
+  std::array<IntRecord, kMaxHops> ints{};
+  std::uint8_t int_count = 0;
+
+  /// PFC pause/resume: priority class (unused, single class) and the port on
+  /// the *receiving* node whose transmitter must pause.
+  std::int32_t pfc_port = -1;
+
+  /// Ingress port at the node currently holding the packet (PFC accounting).
+  std::int32_t ingress_port = -1;
+
+  void push_int(const IntRecord& rec) {
+    if (int_count < kMaxHops) ints[int_count++] = rec;
+  }
+
+  bool is_control() const { return type != PacketType::kData; }
+};
+
+/// Builds a data packet for `flow` covering [seq, seq+payload).
+inline Packet make_data(FlowId flow, NodeId src, NodeId dst, std::uint64_t seq,
+                        std::uint32_t payload, sim::Time now) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.flow = flow;
+  p.src = src;
+  p.dst = dst;
+  p.seq = seq;
+  p.payload_bytes = payload;
+  p.wire_bytes = payload + kHeaderBytes;
+  p.host_ts = now;
+  return p;
+}
+
+/// Builds the ACK for a received data packet (reverse direction).
+inline Packet make_ack(const Packet& data, sim::Time /*now*/) {
+  Packet a;
+  a.type = PacketType::kAck;
+  a.flow = data.flow;
+  a.src = data.dst;
+  a.dst = data.src;
+  a.seq = data.seq + data.payload_bytes;  // cumulative ack
+  a.payload_bytes = 0;
+  a.wire_bytes = kAckBytes;
+  a.ecn = data.ecn;
+  a.host_ts = data.host_ts;  // echo for RTT measurement
+  a.ints = data.ints;
+  a.int_count = data.int_count;
+  return a;
+}
+
+}  // namespace fastcc::net

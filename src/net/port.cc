@@ -1,0 +1,114 @@
+#include "net/port.h"
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "net/node.h"
+
+namespace fastcc::net {
+
+Port::Port(sim::Simulator& simulator, Node* owner, int index)
+    : sim_(simulator), owner_(owner), index_(index) {}
+
+void Port::connect(Node* peer, int peer_port, sim::Rate bandwidth,
+                   sim::Time propagation_delay) {
+  assert(peer != nullptr && bandwidth > 0.0 && propagation_delay >= 0);
+  peer_ = peer;
+  peer_port_ = peer_port;
+  bandwidth_ = bandwidth;
+  prop_delay_ = propagation_delay;
+}
+
+void Port::enqueue(Packet&& p) {
+  assert(connected() && "enqueue on unconnected port");
+  if (queued_bytes_ + p.wire_bytes > buffer_limit_) {
+    ++drops_;
+    return;
+  }
+  // RED/ECN marking happens against the *data* backlog at enqueue time, the
+  // same instantaneous-queue rule the DCQCN deployment paper describes.
+  if (p.type == PacketType::kData && red_.enabled) {
+    const std::uint64_t q = data_queued_bytes_;
+    if (q >= red_.kmax_bytes) {
+      p.ecn = true;
+    } else if (q > red_.kmin_bytes && rng_ != nullptr) {
+      const double span = static_cast<double>(red_.kmax_bytes - red_.kmin_bytes);
+      const double prob =
+          red_.pmax * static_cast<double>(q - red_.kmin_bytes) / span;
+      if (rng_->chance(prob)) p.ecn = true;
+    }
+  }
+  queued_bytes_ += p.wire_bytes;
+  if (p.type == PacketType::kData) {
+    data_queued_bytes_ += p.wire_bytes;
+    if (data_queued_bytes_ > max_queued_bytes_)
+      max_queued_bytes_ = data_queued_bytes_;
+  }
+  if (p.is_control()) {
+    high_q_.push_back(std::move(p));
+  } else {
+    low_q_.push_back(std::move(p));
+  }
+  maybe_start_tx();
+}
+
+void Port::set_paused(bool paused) {
+  if (paused_ == paused) return;
+  paused_ = paused;
+  if (!paused_) maybe_start_tx();
+}
+
+void Port::maybe_start_tx() {
+  if (busy_ || paused_) return;
+  if (high_q_.empty() && low_q_.empty()) return;
+
+  // Dequeue at transmission *start* so a control packet arriving mid-
+  // serialization cannot displace the packet already on the wire.
+  Packet p;
+  if (!high_q_.empty()) {
+    p = std::move(high_q_.front());
+    high_q_.pop_front();
+  } else {
+    p = std::move(low_q_.front());
+    low_q_.pop_front();
+  }
+  queued_bytes_ -= p.wire_bytes;
+  if (p.type == PacketType::kData) data_queued_bytes_ -= p.wire_bytes;
+  tx_bytes_ += p.wire_bytes;
+
+  // INT stamp: backlog left behind on this port, cumulative tx including this
+  // packet, at the moment serialization begins.
+  if (p.type == PacketType::kData) {
+    IntRecord rec;
+    rec.timestamp = sim_.now();
+    rec.tx_bytes = tx_bytes_;
+    rec.qlen_bytes = static_cast<std::uint32_t>(data_queued_bytes_);
+    rec.bandwidth = bandwidth_;
+    p.push_int(rec);
+  }
+
+  // The packet has left this node's buffer: release PFC accounting.
+  owner_->on_packet_departed(p);
+
+  busy_ = true;
+  const sim::Time tx_time = sim::serialization_time(p.wire_bytes, bandwidth_);
+  sim_.after(tx_time, [this, pkt = std::move(p)]() mutable {
+    finish_tx(std::move(pkt));
+  });
+}
+
+void Port::finish_tx(Packet&& p) {
+  assert(busy_);
+  // Hand the packet to the wire: it arrives after the propagation delay.
+  Node* peer = peer_;
+  const int in_port = peer_port_;
+  sim_.after(prop_delay_, [peer, in_port, pkt = std::move(p)]() mutable {
+    peer->deliver(std::move(pkt), in_port);
+  });
+
+  busy_ = false;
+  maybe_start_tx();
+}
+
+}  // namespace fastcc::net

@@ -1,0 +1,104 @@
+// Port: one egress direction of a (bidirectional) link.
+//
+// A port owns a two-level strict-priority egress queue (control/ACK above
+// data), a transmitter that serializes one packet at a time at the link rate,
+// RED/ECN marking, INT stamping, and a PFC pause flag that freezes the
+// transmitter.  Ports always come in pairs: `peer_port` on the peer node is
+// the reverse direction of the same cable, which is what PFC pause frames
+// address.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace fastcc::net {
+
+class Node;
+
+/// Random Early Detection marking parameters (DCQCN's congestion signal).
+struct RedParams {
+  bool enabled = false;
+  std::uint32_t kmin_bytes = 0;   ///< Below: never mark.
+  std::uint32_t kmax_bytes = 0;   ///< Above: always mark.
+  double pmax = 0.01;             ///< Mark probability at kmax.
+};
+
+class Port {
+ public:
+  Port(sim::Simulator& simulator, Node* owner, int index);
+
+  /// Wires this port to its destination. `peer_port` is the index of the
+  /// reverse-direction port on `peer`.
+  void connect(Node* peer, int peer_port, sim::Rate bandwidth,
+               sim::Time propagation_delay);
+
+  /// Accepts a packet from the owning node for transmission.  Applies RED
+  /// marking and buffer accounting, then kicks the transmitter.
+  void enqueue(Packet&& p);
+
+  /// PFC: freezes/unfreezes the transmitter.  An in-flight serialization
+  /// always completes (PFC pauses at packet boundaries).
+  void set_paused(bool paused);
+  bool paused() const { return paused_; }
+
+  void set_red(const RedParams& red) { red_ = red; }
+  void set_rng(sim::Rng* rng) { rng_ = rng; }
+
+  /// Total buffered bytes (both priorities).
+  std::uint64_t queue_bytes() const { return queued_bytes_; }
+  /// Buffered bytes of data packets only — the quantity INT reports.
+  std::uint64_t data_queue_bytes() const { return data_queued_bytes_; }
+  std::uint64_t max_queue_bytes() const { return max_queued_bytes_; }
+  std::uint64_t tx_bytes_total() const { return tx_bytes_; }
+  std::uint64_t drops() const { return drops_; }
+
+  /// Hard buffer cap; packets beyond it are dropped (experiments run with
+  /// PFC or generous buffers so this should stay untouched — drops() lets
+  /// tests assert that).
+  void set_buffer_limit(std::uint64_t bytes) { buffer_limit_ = bytes; }
+
+  sim::Rate bandwidth() const { return bandwidth_; }
+  sim::Time propagation_delay() const { return prop_delay_; }
+  Node* peer() const { return peer_; }
+  int peer_port() const { return peer_port_; }
+  int index() const { return index_; }
+  bool connected() const { return peer_ != nullptr; }
+
+  /// Clears max-queue statistics (between experiment phases).
+  void reset_stats() { max_queued_bytes_ = queued_bytes_; }
+
+ private:
+  void maybe_start_tx();
+  void finish_tx(Packet&& p);
+
+  sim::Simulator& sim_;
+  Node* owner_;
+  int index_;
+
+  Node* peer_ = nullptr;
+  int peer_port_ = -1;
+  sim::Rate bandwidth_ = 0.0;
+  sim::Time prop_delay_ = 0;
+
+  std::deque<Packet> high_q_;  // control / ACK
+  std::deque<Packet> low_q_;   // data
+  std::uint64_t queued_bytes_ = 0;
+  std::uint64_t data_queued_bytes_ = 0;
+  std::uint64_t max_queued_bytes_ = 0;
+  std::uint64_t buffer_limit_ = UINT64_MAX;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t drops_ = 0;
+
+  bool busy_ = false;
+  bool paused_ = false;
+
+  RedParams red_;
+  sim::Rng* rng_ = nullptr;
+};
+
+}  // namespace fastcc::net

@@ -1,0 +1,47 @@
+#include "net/switch_node.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fastcc::net {
+
+const std::vector<int> SwitchNode::kNoRoutes{};
+
+namespace {
+// splitmix64: cheap, well-mixed 64-bit hash for ECMP selection.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+void SwitchNode::set_routes(NodeId dst, std::vector<int> ports) {
+  if (routes_by_dst_.size() <= dst) routes_by_dst_.resize(dst + 1);
+  routes_by_dst_[dst] = std::move(ports);
+}
+
+const std::vector<int>& SwitchNode::routes(NodeId dst) const {
+  if (dst >= routes_by_dst_.size()) return kNoRoutes;
+  return routes_by_dst_[dst];
+}
+
+int SwitchNode::select_port(NodeId dst, FlowId flow, NodeId src) const {
+  const auto& candidates = routes(dst);
+  assert(!candidates.empty() && "no route to destination");
+  if (candidates.size() == 1) return candidates[0];
+  const std::uint64_t key = (static_cast<std::uint64_t>(flow) << 32) ^
+                            (static_cast<std::uint64_t>(src) << 16) ^ dst;
+  // Salt with the switch id so consecutive tiers don't make correlated picks.
+  const std::uint64_t h = mix64(key ^ (static_cast<std::uint64_t>(id()) << 48));
+  return candidates[h % candidates.size()];
+}
+
+void SwitchNode::receive(Packet&& p, int in_port) {
+  (void)in_port;
+  const int out = select_port(p.dst, p.flow, p.src);
+  port(out).enqueue(std::move(p));
+}
+
+}  // namespace fastcc::net

@@ -1,0 +1,38 @@
+// SwitchNode: an output-queued switch with ECMP forwarding.
+//
+// Routing tables are populated by Network::build_routes() with every
+// equal-cost next-hop port per destination; a deterministic per-flow hash
+// picks among them, so a flow's path is stable (no packet reordering) while
+// distinct flows spread across the fabric.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/node.h"
+
+namespace fastcc::net {
+
+class SwitchNode : public Node {
+ public:
+  SwitchNode(sim::Simulator& simulator, NodeId id, std::string name)
+      : Node(simulator, id, std::move(name)) {}
+
+  /// Replaces the candidate egress ports toward `dst`.
+  void set_routes(NodeId dst, std::vector<int> ports);
+
+  /// ECMP choice this switch would make for the given flow (exposed for
+  /// path-tracing and tests).
+  int select_port(NodeId dst, FlowId flow, NodeId src) const;
+
+  const std::vector<int>& routes(NodeId dst) const;
+
+ protected:
+  void receive(Packet&& p, int in_port) override;
+
+ private:
+  std::vector<std::vector<int>> routes_by_dst_;  // indexed by NodeId
+  static const std::vector<int> kNoRoutes;
+};
+
+}  // namespace fastcc::net

@@ -1,0 +1,140 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace fastcc::sim {
+
+CalendarQueue::CalendarQueue(std::size_t initial_buckets, Time initial_width)
+    : width_(std::max<Time>(initial_width, 1)) {
+  // Power-of-two bucket count enables mask-based hashing.
+  std::size_t n = 1;
+  while (n < initial_buckets) n <<= 1;
+  buckets_.resize(n);
+}
+
+CalendarQueue::Id CalendarQueue::schedule(Time at, Callback cb) {
+  const Id id = next_id_++;
+  buckets_[bucket_of(at)].push_back(Entry{at, id, std::move(cb)});
+  pending_.insert(id);
+  ++live_;
+  maybe_resize();
+  return id;
+}
+
+bool CalendarQueue::cancel(Id id) {
+  if (pending_.erase(id) == 0) return false;
+  --live_;
+  return true;
+}
+
+void CalendarQueue::drop_dead(std::vector<Entry>& bucket) {
+  // An entry physically present whose id is no longer pending was cancelled
+  // (pops remove entries eagerly), so it can be reclaimed here lazily.
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (!pending_.contains(bucket[i].id)) {
+      bucket[i] = std::move(bucket.back());
+      bucket.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
+std::pair<std::size_t, std::size_t> CalendarQueue::find_min() {
+  assert(live_ > 0);
+  const std::size_t mask = buckets_.size() - 1;
+  // Phase 1: walk day-by-day from the last popped timestamp; the first
+  // bucket holding an event belonging to the current day yields the minimum.
+  std::uint64_t day = static_cast<std::uint64_t>(last_popped_ / width_);
+  for (std::size_t step = 0; step < buckets_.size(); ++step, ++day) {
+    const std::size_t bi = static_cast<std::size_t>(day) & mask;
+    std::vector<Entry>& bucket = buckets_[bi];
+    drop_dead(bucket);
+    std::size_t best = bucket.size();
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+      if (static_cast<std::uint64_t>(bucket[i].at / width_) != day) continue;
+      if (best == bucket.size() || bucket[i].at < bucket[best].at ||
+          (bucket[i].at == bucket[best].at &&
+           bucket[i].id < bucket[best].id)) {
+        best = i;
+      }
+    }
+    if (best != bucket.size()) return {bi, best};
+  }
+  // Phase 2 (sparse population): global scan.
+  std::size_t min_b = buckets_.size(), min_i = 0;
+  Time min_t = std::numeric_limits<Time>::max();
+  Id min_id = std::numeric_limits<Id>::max();
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    drop_dead(buckets_[bi]);
+    for (std::size_t i = 0; i < buckets_[bi].size(); ++i) {
+      const Entry& e = buckets_[bi][i];
+      if (e.at < min_t || (e.at == min_t && e.id < min_id)) {
+        min_t = e.at;
+        min_id = e.id;
+        min_b = bi;
+        min_i = i;
+      }
+    }
+  }
+  assert(min_b < buckets_.size());
+  return {min_b, min_i};
+}
+
+Time CalendarQueue::next_time() {
+  const auto [bi, i] = find_min();
+  return buckets_[bi][i].at;
+}
+
+Time CalendarQueue::pop_and_run() {
+  const auto [bi, i] = find_min();
+  Entry entry = std::move(buckets_[bi][i]);
+  buckets_[bi][i] = std::move(buckets_[bi].back());
+  buckets_[bi].pop_back();
+  --live_;
+  pending_.erase(entry.id);
+  last_popped_ = entry.at;
+  maybe_resize();
+  entry.cb();
+  return entry.at;
+}
+
+void CalendarQueue::maybe_resize() {
+  if (live_ > 2 * buckets_.size()) {
+    rebuild(buckets_.size() * 2, width_);
+  } else if (buckets_.size() > 16 && live_ < buckets_.size() / 4) {
+    rebuild(buckets_.size() / 2, width_);
+  }
+}
+
+void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
+  std::vector<Entry> all;
+  all.reserve(live_);
+  Time min_t = std::numeric_limits<Time>::max();
+  Time max_t = std::numeric_limits<Time>::min();
+  for (auto& bucket : buckets_) {
+    drop_dead(bucket);
+    for (Entry& e : bucket) {
+      min_t = std::min(min_t, e.at);
+      max_t = std::max(max_t, e.at);
+      all.push_back(std::move(e));
+    }
+    bucket.clear();
+  }
+  buckets_.clear();
+  buckets_.resize(new_bucket_count);
+  // Recalibrate the day width so the live population spreads over roughly
+  // one "year" of buckets.
+  if (all.size() > 1 && max_t > min_t) {
+    width_ = std::max<Time>(
+        1, (max_t - min_t) / static_cast<Time>(all.size()));
+  }
+  for (Entry& e : all) {
+    buckets_[bucket_of(e.at)].push_back(std::move(e));
+  }
+}
+
+}  // namespace fastcc::sim

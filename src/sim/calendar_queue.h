@@ -1,0 +1,68 @@
+// CalendarQueue: an O(1)-amortized event queue (Brown, CACM 1988).
+//
+// Discrete-event network simulations schedule most events a short, bounded
+// distance into the future (serialization times, propagation delays, pacing
+// gaps), which is exactly the access pattern calendar queues exploit: events
+// hash into "day" buckets by timestamp, and popping scans the current day.
+// The API matches sim::EventQueue, so a simulation can swap schedulers by
+// type alias; equivalence is enforced by property tests.  The bucket count
+// doubles/halves as the population grows/shrinks, and the bucket width is
+// recalibrated from the observed inter-event spacing on each resize.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/unique_function.h"
+
+namespace fastcc::sim {
+
+class CalendarQueue {
+ public:
+  using Callback = UniqueFunction;
+  using Id = std::uint64_t;
+
+  explicit CalendarQueue(std::size_t initial_buckets = 16,
+                         Time initial_width = 1000);
+
+  Id schedule(Time at, Callback cb);
+  bool cancel(Id id);
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Timestamp of the earliest live event.  Precondition: !empty().
+  Time next_time();
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  Time pop_and_run();
+
+ private:
+  struct Entry {
+    Time at;
+    Id id;
+    Callback cb;
+  };
+
+  std::size_t bucket_of(Time t) const {
+    return static_cast<std::size_t>(t / width_) & (buckets_.size() - 1);
+  }
+
+  /// Locates the earliest live entry; returns (bucket, index-in-bucket).
+  std::pair<std::size_t, std::size_t> find_min();
+
+  void maybe_resize();
+  void rebuild(std::size_t new_bucket_count, Time new_width);
+  void drop_dead(std::vector<Entry>& bucket);
+
+  std::vector<std::vector<Entry>> buckets_;
+  Time width_;
+  Time last_popped_ = 0;
+  std::size_t live_ = 0;
+  Id next_id_ = 0;
+  std::unordered_set<Id> pending_;
+};
+
+}  // namespace fastcc::sim

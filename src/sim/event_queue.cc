@@ -1,0 +1,42 @@
+#include "sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace fastcc::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  const EventId id = next_id_++;
+  heap_.push(Entry{at, id, std::move(cb)});
+  pending_.insert(id);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+
+void EventQueue::drop_dead_head() {
+  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
+    heap_.pop();
+  }
+}
+
+Time EventQueue::next_time() const {
+  auto* self = const_cast<EventQueue*>(this);
+  self->drop_dead_head();
+  assert(!heap_.empty());
+  return heap_.top().at;
+}
+
+Time EventQueue::pop_and_run() {
+  drop_dead_head();
+  assert(!heap_.empty());
+  // Move the callback out before popping so the entry can be destroyed, then
+  // run it outside of any heap invariants.
+  Entry top = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  pending_.erase(top.id);
+  top.cb();
+  return top.at;
+}
+
+}  // namespace fastcc::sim

@@ -1,0 +1,69 @@
+// A stable binary-heap event queue for discrete-event simulation.
+//
+// Events scheduled for the same timestamp fire in insertion order, which keeps
+// simulations deterministic regardless of heap internals.  Cancellation is
+// lazy: cancelled events stay in the heap and are skipped on pop.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "sim/unique_function.h"
+
+namespace fastcc::sim {
+
+/// Opaque handle identifying a scheduled event; usable for cancellation.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  using Callback = UniqueFunction;
+
+  /// Schedules `cb` at absolute time `at`.  Returns a handle for cancel().
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a pending event.  Cancelling an already-fired or unknown id is a
+  /// no-op, which lets callers keep stale handles without bookkeeping.
+  /// Returns true when the event was pending and is now cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  std::size_t size() const { return pending_.size(); }
+
+  /// Timestamp of the earliest live event.  Precondition: !empty().
+  Time next_time() const;
+
+  /// Pops and runs the earliest live event; returns its timestamp.
+  /// Precondition: !empty().
+  Time pop_and_run();
+
+  /// Total events ever scheduled (for instrumentation).
+  std::uint64_t scheduled_total() const { return next_id_; }
+
+ private:
+  struct Entry {
+    Time at;
+    EventId id;  // monotonically increasing; breaks ties FIFO
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  /// Discards heap entries whose id is no longer pending (cancelled).
+  void drop_dead_head();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 0;
+};
+
+}  // namespace fastcc::sim

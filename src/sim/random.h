@@ -1,0 +1,50 @@
+// Deterministic randomness for simulations.
+//
+// All stochastic behaviour in fastcc (probabilistic feedback, Poisson flow
+// arrivals, CDF sampling, ECMP tie-breaking) draws from Rng instances seeded
+// from a single experiment seed, so every run is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace fastcc::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Exponential variate with the given mean (inter-arrival sampling).
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Derives an independent child stream; used to give each flow / generator
+  /// its own stream so adding one component never perturbs another.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fastcc::sim

@@ -1,0 +1,30 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace fastcc::sim {
+
+EventId Simulator::at(Time when, EventQueue::Callback cb) {
+  assert(when >= now_ && "cannot schedule into the past");
+  return events_.schedule(when, std::move(cb));
+}
+
+Time Simulator::run(Time until) {
+  stopped_ = false;
+  while (!events_.empty() && !stopped_) {
+    const Time next = events_.next_time();
+    if (next > until) break;
+    now_ = next;
+    events_.pop_and_run();
+    ++executed_;
+  }
+  // Unless stopped mid-run, a bounded run() leaves the clock at the deadline
+  // (whether events remain pending or the queue drained early), so callers
+  // can interleave run(t) with direct state changes at known times.
+  if (!stopped_ && until != std::numeric_limits<Time>::max() && until > now_) {
+    now_ = until;
+  }
+  return now_;
+}
+
+}  // namespace fastcc::sim

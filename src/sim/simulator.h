@@ -1,0 +1,55 @@
+// Simulator: the discrete-event loop driving a fastcc simulation.
+//
+// A Simulator owns the clock and the event queue.  Components hold a
+// reference to it and schedule callbacks; run() drains events in timestamp
+// order until the queue empties, a deadline passes, or stop() is called.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <utility>
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace fastcc::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  EventId at(Time when, EventQueue::Callback cb);
+
+  /// Schedules `cb` after a relative delay (must be >= 0).
+  EventId after(Time delay, EventQueue::Callback cb) {
+    return at(now_ + delay, std::move(cb));
+  }
+
+  bool cancel(EventId id) { return events_.cancel(id); }
+
+  /// Runs until the event queue is empty or the clock passes `until`.
+  /// Events stamped exactly `until` still run.  Returns the final clock.
+  Time run(Time until = std::numeric_limits<Time>::max());
+
+  /// Requests that run() return after the current event completes.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (instrumentation / perf tests).
+  std::uint64_t events_executed() const { return executed_; }
+
+  EventQueue& queue() { return events_; }
+
+ private:
+  EventQueue events_;
+  Time now_ = 0;
+  bool stopped_ = false;
+  std::uint64_t executed_ = 0;
+};
+
+}  // namespace fastcc::sim

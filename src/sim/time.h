@@ -1,0 +1,39 @@
+// Simulation time and rate units for fastcc.
+//
+// Time is a signed 64-bit nanosecond count from simulation start.  Rates are
+// carried as double bytes-per-nanosecond so that common datacenter speeds are
+// exact: 100 Gbps == 12.5 B/ns, 400 Gbps == 50 B/ns.
+#pragma once
+
+#include <cstdint>
+
+namespace fastcc::sim {
+
+/// Simulation timestamp / duration in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1000 * kNanosecond;
+inline constexpr Time kMillisecond = 1000 * kMicrosecond;
+inline constexpr Time kSecond = 1000 * kMillisecond;
+
+/// Link / injection rate in bytes per nanosecond (== GB/s).
+using Rate = double;
+
+/// Converts a rate expressed in gigabits per second to bytes per nanosecond.
+constexpr Rate gbps(double gigabits_per_second) {
+  return gigabits_per_second / 8.0;
+}
+
+/// Converts a rate in bytes-per-nanosecond back to gigabits per second.
+constexpr double to_gbps(Rate bytes_per_ns) { return bytes_per_ns * 8.0; }
+
+/// Time to serialize `bytes` at `rate`, rounded up to whole nanoseconds so a
+/// transmitter never finishes early.
+constexpr Time serialization_time(std::int64_t bytes, Rate rate) {
+  const double ns = static_cast<double>(bytes) / rate;
+  const Time whole = static_cast<Time>(ns);
+  return (static_cast<double>(whole) < ns) ? whole + 1 : whole;
+}
+
+}  // namespace fastcc::sim

@@ -1,0 +1,51 @@
+// UniqueFunction: a move-only void() callable.
+//
+// Scheduled events frequently capture move-only state (packets in flight,
+// flow state with owning pointers); std::function requires copyability, and
+// std::move_only_function is C++23, so this small type-erased wrapper fills
+// the gap.
+#pragma once
+
+#include <memory>
+#include <type_traits>
+#include <utility>
+
+namespace fastcc::sim {
+
+class UniqueFunction {
+ public:
+  UniqueFunction() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
+      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+
+  UniqueFunction(UniqueFunction&&) = default;
+  UniqueFunction& operator=(UniqueFunction&&) = default;
+  UniqueFunction(const UniqueFunction&) = delete;
+  UniqueFunction& operator=(const UniqueFunction&) = delete;
+
+  explicit operator bool() const { return impl_ != nullptr; }
+
+  void operator()() { impl_->call(); }
+
+ private:
+  struct Base {
+    virtual ~Base() = default;
+    virtual void call() = 0;
+  };
+  template <typename F>
+  struct Impl final : Base {
+    explicit Impl(F&& f) : fn(std::move(f)) {}
+    explicit Impl(const F& f) : fn(f) {}
+    void call() override { fn(); }
+    F fn;
+  };
+
+  std::unique_ptr<Base> impl_;
+};
+
+}  // namespace fastcc::sim

@@ -1,0 +1,96 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <ostream>
+
+namespace fastcc::stats {
+
+Histogram::Histogram(double min_value, double growth, int max_buckets)
+    : min_value_(min_value), growth_(growth) {
+  assert(min_value > 0.0 && growth > 1.0 && max_buckets > 1);
+  counts_.assign(static_cast<std::size_t>(max_buckets), 0);
+}
+
+int Histogram::bucket_of(double value) const {
+  if (value < min_value_) return 0;
+  const int b =
+      1 + static_cast<int>(std::floor(std::log(value / min_value_) /
+                                      std::log(growth_)));
+  return std::min(b, static_cast<int>(counts_.size()) - 1);
+}
+
+double Histogram::lower_bound_of(int bucket) const {
+  if (bucket <= 0) return 0.0;
+  return min_value_ * std::pow(growth_, bucket - 1);
+}
+
+double Histogram::upper_bound_of(int bucket) const {
+  if (bucket >= static_cast<int>(counts_.size()) - 1) {
+    return std::max(max_seen_, lower_bound_of(bucket) * growth_);
+  }
+  return min_value_ * std::pow(growth_, bucket);
+}
+
+void Histogram::add(double value) {
+  assert(value >= 0.0);
+  if (count_ == 0) {
+    min_seen_ = value;
+    max_seen_ = value;
+  } else {
+    min_seen_ = std::min(min_seen_, value);
+    max_seen_ = std::max(max_seen_, value);
+  }
+  ++count_;
+  sum_ += value;
+  ++counts_[bucket_of(value)];
+}
+
+double Histogram::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile(double p) const {
+  assert(count_ > 0);
+  assert(p >= 0.0 && p <= 100.0);
+  const double target = p / 100.0 * static_cast<double>(count_);
+  std::uint64_t seen = 0;
+  for (int b = 0; b < static_cast<int>(counts_.size()); ++b) {
+    if (counts_[b] == 0) continue;
+    const auto next = seen + counts_[b];
+    if (static_cast<double>(next) >= target) {
+      const double lo = std::max(lower_bound_of(b), min_seen_);
+      const double hi = std::min(upper_bound_of(b), max_seen_);
+      const double frac =
+          counts_[b] == 0
+              ? 0.0
+              : (target - static_cast<double>(seen)) /
+                    static_cast<double>(counts_[b]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (hi - lo);
+    }
+    seen = next;
+  }
+  return max_seen_;
+}
+
+std::uint64_t Histogram::count_below(double value) const {
+  std::uint64_t total = 0;
+  const int vb = bucket_of(value);
+  for (int b = 0; b < vb; ++b) total += counts_[b];
+  // Conservatively include the whole owning bucket when the value reaches
+  // its upper bound.
+  if (value >= upper_bound_of(vb)) total += counts_[vb];
+  return total;
+}
+
+void Histogram::write_csv(std::ostream& os) const {
+  os << "lower,upper,count\n";
+  for (int b = 0; b < static_cast<int>(counts_.size()); ++b) {
+    if (counts_[b] == 0) continue;
+    os << lower_bound_of(b) << ',' << upper_bound_of(b) << ','
+       << counts_[b] << '\n';
+  }
+}
+
+}  // namespace fastcc::stats

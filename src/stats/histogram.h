@@ -1,0 +1,53 @@
+// Log-bucketed histogram for long-tailed metrics (FCTs, slowdowns, queue
+// depths).  Buckets grow geometrically, so a single histogram covers
+// nanosecond RTTs through millisecond tails with bounded relative error.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+namespace fastcc::stats {
+
+class Histogram {
+ public:
+  /// Buckets: [0, min), [min, min*g), [min*g, min*g^2), ...  `growth` > 1.
+  explicit Histogram(double min_value = 1.0, double growth = 1.25,
+                     int max_buckets = 128);
+
+  void add(double value);
+
+  std::uint64_t count() const { return count_; }
+  double min() const { return min_seen_; }
+  double max() const { return max_seen_; }
+  double sum() const { return sum_; }
+  double mean() const;
+
+  /// Percentile estimated by linear interpolation within the owning bucket;
+  /// exact at bucket boundaries, bounded by the bucket's relative width
+  /// otherwise.  `p` in [0, 100].  Precondition: count() > 0.
+  double percentile(double p) const;
+
+  /// Number of samples at or below `value`.
+  std::uint64_t count_below(double value) const;
+
+  /// Writes "lower,upper,count" CSV rows for non-empty buckets.
+  void write_csv(std::ostream& os) const;
+
+  int bucket_count() const { return static_cast<int>(counts_.size()); }
+
+ private:
+  int bucket_of(double value) const;
+  double lower_bound_of(int bucket) const;
+  double upper_bound_of(int bucket) const;
+
+  double min_value_;
+  double growth_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_seen_ = 0.0;
+  double max_seen_ = 0.0;
+};
+
+}  // namespace fastcc::stats

@@ -1,0 +1,38 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace fastcc::stats {
+
+double percentile(std::span<const double> values, double p) {
+  assert(!values.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (p <= 0.0) return sorted.front();
+  // Nearest-rank: ceil(p/100 * n), 1-indexed.
+  const auto n = sorted.size();
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return sorted[std::min(rank, n) - 1];
+}
+
+double PercentileEstimator::percentile(double p) const {
+  return stats::percentile(values_, p);
+}
+
+double PercentileEstimator::max() const {
+  assert(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double PercentileEstimator::mean() const {
+  assert(!values_.empty());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+}  // namespace fastcc::stats

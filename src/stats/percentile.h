@@ -1,0 +1,35 @@
+// Exact percentile computation (nearest-rank on a sorted copy).
+//
+// Datacenter-tail studies live and die by their percentiles; with the sample
+// counts involved here (10^3..10^5 flows) exact sorting is cheap, so no
+// sketching is used.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace fastcc::stats {
+
+/// Nearest-rank percentile: the smallest value with at least p% of samples
+/// at or below it.  `p` in [0, 100]; p=50 is the median, p=100 the max.
+/// Precondition: !values.empty().
+double percentile(std::span<const double> values, double p);
+
+/// Convenience for repeated queries against the same sample set.
+class PercentileEstimator {
+ public:
+  void add(double v) { values_.push_back(v); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double p999() const { return percentile(99.9); }
+  double max() const;
+  double mean() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace fastcc::stats

@@ -1,0 +1,69 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+#include <cassert>
+#include <ostream>
+
+namespace fastcc::stats {
+
+double TimeSeries::max_value() const {
+  assert(!points_.empty());
+  return std::max_element(points_.begin(), points_.end(),
+                          [](const TimePoint& a, const TimePoint& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::min_value() const {
+  assert(!points_.empty());
+  return std::min_element(points_.begin(), points_.end(),
+                          [](const TimePoint& a, const TimePoint& b) {
+                            return a.value < b.value;
+                          })
+      ->value;
+}
+
+double TimeSeries::mean_after(sim::Time from) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const TimePoint& p : points_) {
+    if (p.t >= from) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+sim::Time TimeSeries::settle_time(double threshold) const {
+  sim::Time settled = -1;
+  for (const TimePoint& p : points_) {
+    if (p.value >= threshold) {
+      if (settled < 0) settled = p.t;
+    } else {
+      settled = -1;
+    }
+  }
+  return settled;
+}
+
+void write_csv(std::ostream& os, const std::vector<const TimeSeries*>& series,
+               const std::string& time_unit_divisor_label,
+               double time_divisor) {
+  if (series.empty()) return;
+  os << time_unit_divisor_label;
+  for (const TimeSeries* s : series) os << ',' << s->label();
+  os << '\n';
+  const std::size_t rows = series.front()->size();
+  for (std::size_t i = 0; i < rows; ++i) {
+    os << static_cast<double>(series.front()->points()[i].t) / time_divisor;
+    for (const TimeSeries* s : series) {
+      os << ',';
+      if (i < s->size()) os << s->points()[i].value;
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace fastcc::stats

@@ -1,0 +1,69 @@
+#include "topo/fat_tree.h"
+
+#include <cassert>
+#include <string>
+
+namespace fastcc::topo {
+
+FatTreeParams full_scale_fat_tree() { return FatTreeParams{}; }
+
+FatTreeParams scaled_fat_tree() {
+  FatTreeParams p;
+  p.pods = 2;
+  p.tors_per_pod = 2;
+  p.aggs_per_pod = 2;
+  p.hosts_per_tor = 8;
+  p.spine_group_size = 2;
+  return p;
+}
+
+FatTreeParams with_oversubscription(FatTreeParams base, double ratio) {
+  assert(ratio >= 1.0);
+  // Non-blocking uplink capacity per ToR is hosts * host_bw; spread it over
+  // the aggs and divide by the oversubscription ratio.
+  const double uplink_total = base.hosts_per_tor * base.host_bandwidth / ratio;
+  base.fabric_bandwidth = uplink_total / base.aggs_per_pod;
+  return base;
+}
+
+FatTree build_fat_tree(net::Network& net, const FatTreeParams& p) {
+  assert(p.pods >= 1 && p.tors_per_pod >= 1 && p.aggs_per_pod >= 1);
+  assert(p.hosts_per_tor >= 1 && p.spine_group_size >= 1);
+  FatTree ft;
+
+  for (int s = 0; s < p.spine_count(); ++s) {
+    ft.spines.push_back(net.add_switch("spine" + std::to_string(s)));
+  }
+  for (int pod = 0; pod < p.pods; ++pod) {
+    for (int a = 0; a < p.aggs_per_pod; ++a) {
+      net::SwitchNode* agg = net.add_switch(
+          "agg" + std::to_string(pod) + "_" + std::to_string(a));
+      ft.aggs.push_back(agg);
+      // Agg index a talks to spine group a.
+      for (int g = 0; g < p.spine_group_size; ++g) {
+        net.connect(*agg, *ft.spines[a * p.spine_group_size + g],
+                    p.fabric_bandwidth, p.link_delay);
+      }
+    }
+    for (int t = 0; t < p.tors_per_pod; ++t) {
+      net::SwitchNode* tor = net.add_switch(
+          "tor" + std::to_string(pod) + "_" + std::to_string(t));
+      ft.tors.push_back(tor);
+      for (int a = 0; a < p.aggs_per_pod; ++a) {
+        net.connect(*tor, *ft.aggs[pod * p.aggs_per_pod + a],
+                    p.fabric_bandwidth, p.link_delay);
+      }
+      for (int h = 0; h < p.hosts_per_tor; ++h) {
+        net::Host* host = net.add_host("h" + std::to_string(pod) + "_" +
+                                       std::to_string(t) + "_" +
+                                       std::to_string(h));
+        net.connect(*host, *tor, p.host_bandwidth, p.link_delay);
+        ft.hosts.push_back(host);
+      }
+    }
+  }
+  net.build_routes();
+  return ft;
+}
+
+}  // namespace fastcc::topo

@@ -1,0 +1,55 @@
+// Three-layer fat-tree (the paper's Figure 7).
+//
+// The full-scale instance matches Li et al.'s HPCC evaluation topology used
+// by the paper: 5 pods x (4 ToR + 4 Agg), 16 spines, 16 hosts per ToR = 320
+// hosts; 100 Gbps host links, 400 Gbps fabric links, 1 us propagation per
+// link.  Every ToR connects to every Agg in its pod; Agg i of each pod
+// connects to spine group i (spines [i*g, (i+1)*g)), giving ECMP fan-out at
+// both tiers.  All dimensions are parameters so scaled-down instances keep
+// the same shape.
+#pragma once
+
+#include <vector>
+
+#include "net/network.h"
+
+namespace fastcc::topo {
+
+struct FatTreeParams {
+  int pods = 5;
+  int tors_per_pod = 4;
+  int aggs_per_pod = 4;
+  int hosts_per_tor = 16;
+  int spine_group_size = 4;  ///< Spines per Agg index; spines = aggs * group.
+  sim::Rate host_bandwidth = sim::gbps(100);
+  sim::Rate fabric_bandwidth = sim::gbps(400);
+  sim::Time link_delay = 1 * sim::kMicrosecond;
+
+  int spine_count() const { return aggs_per_pod * spine_group_size; }
+  int host_count() const { return pods * tors_per_pod * hosts_per_tor; }
+};
+
+/// The paper's full-scale topology.
+FatTreeParams full_scale_fat_tree();
+
+/// A shape-preserving scaled instance (2 pods, 2x2 switches, 8 hosts/ToR =
+/// 32 hosts) for CI-budget datacenter runs.
+FatTreeParams scaled_fat_tree();
+
+/// Derives an oversubscribed variant: fabric links scaled down so the
+/// ToR-uplink capacity is 1/ratio of the attached host capacity (ratio 1 =
+/// the paper's non-blocking fabric; ratio 4 = a typical 4:1 production
+/// fabric where the congestion point moves into the core).
+FatTreeParams with_oversubscription(FatTreeParams base, double ratio);
+
+struct FatTree {
+  std::vector<net::Host*> hosts;
+  std::vector<net::SwitchNode*> tors;
+  std::vector<net::SwitchNode*> aggs;
+  std::vector<net::SwitchNode*> spines;
+};
+
+/// Builds the fat-tree into `net` and installs ECMP routes.
+FatTree build_fat_tree(net::Network& net, const FatTreeParams& params);
+
+}  // namespace fastcc::topo

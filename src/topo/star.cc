@@ -1,0 +1,22 @@
+#include "topo/star.h"
+
+#include <cassert>
+#include <string>
+
+namespace fastcc::topo {
+
+Star build_star(net::Network& net, const StarParams& params) {
+  assert(params.host_count >= 2);
+  Star star;
+  star.hub = net.add_switch("hub");
+  star.hosts.reserve(params.host_count);
+  for (int i = 0; i < params.host_count; ++i) {
+    net::Host* h = net.add_host("h" + std::to_string(i));
+    net.connect(*h, *star.hub, params.host_bandwidth, params.link_delay);
+    star.hosts.push_back(h);
+  }
+  net.build_routes();
+  return star;
+}
+
+}  // namespace fastcc::topo

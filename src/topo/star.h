@@ -1,0 +1,27 @@
+// Single-switch star topology (Section III-D): N hosts, one switch, every
+// host attached at the same speed.  Host 0..N-2 are senders in the paper's
+// incast experiments; host N-1 is the receiver.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/network.h"
+
+namespace fastcc::topo {
+
+struct StarParams {
+  int host_count = 17;
+  sim::Rate host_bandwidth = sim::gbps(100);
+  sim::Time link_delay = 1 * sim::kMicrosecond;
+};
+
+struct Star {
+  net::SwitchNode* hub = nullptr;
+  std::vector<net::Host*> hosts;
+};
+
+/// Builds the star into `net` and installs routes.
+Star build_star(net::Network& net, const StarParams& params);
+
+}  // namespace fastcc::topo

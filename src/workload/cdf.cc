@@ -1,0 +1,73 @@
+#include "workload/cdf.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fastcc::workload {
+
+Cdf::Cdf(std::string name, std::vector<CdfPoint> points)
+    : name_(std::move(name)), points_(std::move(points)) {
+  assert(!points_.empty());
+  if (points_.front().cum_prob > 0.0) {
+    points_.insert(points_.begin(), CdfPoint{points_.front().size_bytes, 0.0});
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    assert(points_[i].size_bytes >= points_[i - 1].size_bytes);
+    assert(points_[i].cum_prob >= points_[i - 1].cum_prob);
+  }
+  assert(std::abs(points_.back().cum_prob - 1.0) < 1e-9 &&
+         "CDF must end at probability 1");
+}
+
+std::uint64_t Cdf::sample(sim::Rng& rng) const {
+  const double u = rng.uniform();
+  // Find the first point with cum_prob >= u and interpolate from its
+  // predecessor.
+  auto it = std::lower_bound(points_.begin(), points_.end(), u,
+                             [](const CdfPoint& p, double v) {
+                               return p.cum_prob < v;
+                             });
+  if (it == points_.begin()) {
+    return static_cast<std::uint64_t>(std::max(1.0, it->size_bytes));
+  }
+  if (it == points_.end()) --it;
+  const CdfPoint& hi = *it;
+  const CdfPoint& lo = *(it - 1);
+  double size = hi.size_bytes;
+  if (hi.cum_prob > lo.cum_prob) {
+    const double frac = (u - lo.cum_prob) / (hi.cum_prob - lo.cum_prob);
+    size = lo.size_bytes + frac * (hi.size_bytes - lo.size_bytes);
+  }
+  return static_cast<std::uint64_t>(std::max(1.0, size));
+}
+
+double Cdf::mean_bytes() const {
+  // Each linear segment contributes its probability mass times the segment's
+  // average size.
+  double mean = 0.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    const double mass = points_[i].cum_prob - points_[i - 1].cum_prob;
+    const double avg = (points_[i].size_bytes + points_[i - 1].size_bytes) / 2.0;
+    mean += mass * avg;
+  }
+  return mean;
+}
+
+double Cdf::probability_below(double size_bytes) const {
+  if (size_bytes <= points_.front().size_bytes) return 0.0;
+  if (size_bytes >= points_.back().size_bytes) return 1.0;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].size_bytes >= size_bytes) {
+      const CdfPoint& lo = points_[i - 1];
+      const CdfPoint& hi = points_[i];
+      if (hi.size_bytes == lo.size_bytes) return hi.cum_prob;
+      const double frac = (size_bytes - lo.size_bytes) /
+                          (hi.size_bytes - lo.size_bytes);
+      return lo.cum_prob + frac * (hi.cum_prob - lo.cum_prob);
+    }
+  }
+  return 1.0;
+}
+
+}  // namespace fastcc::workload

@@ -1,0 +1,45 @@
+// Piecewise-linear flow-size CDFs, the representation used by the HPCC
+// artifact's distribution files that the paper samples from.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/random.h"
+
+namespace fastcc::workload {
+
+struct CdfPoint {
+  double size_bytes;
+  double cum_prob;  ///< In [0, 1], non-decreasing; last point must be 1.
+};
+
+class Cdf {
+ public:
+  /// Points must be sorted by size with non-decreasing probability ending at
+  /// exactly 1.0.  A leading implicit point (min_size, 0) is added when the
+  /// first explicit probability is positive.
+  Cdf(std::string name, std::vector<CdfPoint> points);
+
+  /// Inverse-transform sample; linear interpolation between points.
+  /// Result is clamped to at least 1 byte.
+  std::uint64_t sample(sim::Rng& rng) const;
+
+  /// Expected flow size (exact for the piecewise-linear model).
+  double mean_bytes() const;
+
+  /// Fraction of flows at or below `size_bytes`.
+  double probability_below(double size_bytes) const;
+
+  double min_bytes() const { return points_.front().size_bytes; }
+  double max_bytes() const { return points_.back().size_bytes; }
+  const std::string& name() const { return name_; }
+  const std::vector<CdfPoint>& points() const { return points_; }
+
+ private:
+  std::string name_;
+  std::vector<CdfPoint> points_;
+};
+
+}  // namespace fastcc::workload

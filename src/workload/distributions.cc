@@ -1,0 +1,64 @@
+#include "workload/distributions.h"
+
+namespace fastcc::workload {
+
+const Cdf& hadoop_cdf() {
+  // Anchors from the paper: 95% < 300 KB, 2.5% > 1 MB.  The small-flow body
+  // follows the published Facebook Hadoop shape (most flows under a few KB).
+  static const Cdf cdf("hadoop", {
+                                     {130, 0.00},
+                                     {250, 0.15},
+                                     {500, 0.30},
+                                     {1000, 0.50},
+                                     {2000, 0.60},
+                                     {10000, 0.70},
+                                     {30000, 0.80},
+                                     {100000, 0.90},
+                                     {300000, 0.95},
+                                     {1000000, 0.975},
+                                     {2000000, 0.9875},
+                                     {5000000, 0.9975},
+                                     {10000000, 1.00},
+                                 });
+  return cdf;
+}
+
+const Cdf& websearch_cdf() {
+  // The classic DCTCP web-search distribution; ~30% of flows exceed 1 MB,
+  // matching the paper's description.
+  static const Cdf cdf("websearch", {
+                                        {6000, 0.15},
+                                        {13000, 0.20},
+                                        {19000, 0.30},
+                                        {33000, 0.40},
+                                        {53000, 0.53},
+                                        {133000, 0.60},
+                                        {667000, 0.70},
+                                        {1333000, 0.80},
+                                        {3333000, 0.90},
+                                        {6667000, 0.97},
+                                        {20000000, 1.00},
+                                    });
+  return cdf;
+}
+
+const Cdf& storage_cdf() {
+  // Anchors from the paper: 96% < 128 KB, 100% < 2 MB.
+  static const Cdf cdf("storage", {
+                                      {512, 0.20},
+                                      {1024, 0.35},
+                                      {2048, 0.50},
+                                      {8192, 0.65},
+                                      {16384, 0.75},
+                                      {32768, 0.85},
+                                      {65536, 0.92},
+                                      {131072, 0.96},
+                                      {262144, 0.98},
+                                      {524288, 0.99},
+                                      {1048576, 0.995},
+                                      {2097152, 1.00},
+                                  });
+  return cdf;
+}
+
+}  // namespace fastcc::workload

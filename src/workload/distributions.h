@@ -1,0 +1,27 @@
+// The paper's three datacenter flow-size distributions.
+//
+// The exact artifact files are not shipped here; these tables are
+// reconstructions anchored to the statistics the paper states and the
+// published shapes of the underlying workloads:
+//  * Facebook Hadoop (Zeng et al.): mostly tiny flows, 95% < 300 KB,
+//    2.5% > 1 MB;
+//  * Microsoft WebSearch (the DCTCP workload): heavy-tailed, ~30% of flows
+//    over 1 MB carrying most bytes;
+//  * Alibaba storage: almost exclusively small, 96% < 128 KB, all < 2 MB.
+// Section VI of EXPERIMENTS.md documents this substitution.
+#pragma once
+
+#include "workload/cdf.h"
+
+namespace fastcc::workload {
+
+/// Facebook Hadoop flow sizes.
+const Cdf& hadoop_cdf();
+
+/// Microsoft WebSearch flow sizes.
+const Cdf& websearch_cdf();
+
+/// Alibaba storage flow sizes.
+const Cdf& storage_cdf();
+
+}  // namespace fastcc::workload

@@ -1,0 +1,27 @@
+#include "workload/incast.h"
+
+#include <cassert>
+
+namespace fastcc::workload {
+
+std::vector<net::FlowSpec> make_incast(const IncastPattern& pattern,
+                                       const std::vector<net::NodeId>& sender_ids,
+                                       net::NodeId receiver) {
+  assert(static_cast<int>(sender_ids.size()) >= pattern.senders);
+  assert(pattern.flows_per_wave > 0);
+  std::vector<net::FlowSpec> flows;
+  flows.reserve(pattern.senders);
+  for (int i = 0; i < pattern.senders; ++i) {
+    net::FlowSpec spec;
+    spec.id = static_cast<net::FlowId>(i + 1);
+    spec.src = sender_ids[i];
+    spec.dst = receiver;
+    spec.size_bytes = pattern.flow_bytes;
+    spec.start_time = pattern.first_start +
+                      (i / pattern.flows_per_wave) * pattern.wave_interval;
+    flows.push_back(spec);
+  }
+  return flows;
+}
+
+}  // namespace fastcc::workload

@@ -1,0 +1,28 @@
+// Staggered incast workload (Sections III-D and VI-A): N senders each send
+// one fixed-size flow to a single receiver; `flows_per_wave` flows start
+// every `wave_interval`.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/flow.h"
+#include "sim/time.h"
+
+namespace fastcc::workload {
+
+struct IncastPattern {
+  int senders = 16;
+  std::uint64_t flow_bytes = 1'000'000;
+  int flows_per_wave = 2;
+  sim::Time wave_interval = 20 * sim::kMicrosecond;
+  sim::Time first_start = 0;
+};
+
+/// Expands the pattern into flow specs.  `sender_ids[i]` sources flow i;
+/// all flows target `receiver`.  Flow ids are 1..N in start order.
+std::vector<net::FlowSpec> make_incast(const IncastPattern& pattern,
+                                       const std::vector<net::NodeId>& sender_ids,
+                                       net::NodeId receiver);
+
+}  // namespace fastcc::workload

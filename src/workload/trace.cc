@@ -1,0 +1,96 @@
+#include "workload/trace.h"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+
+namespace fastcc::workload {
+
+namespace {
+
+constexpr std::string_view kHeader =
+    "flow_id,src_host,dst_host,size_bytes,start_time_ns";
+
+/// Parses one unsigned field; throws with row context on failure.
+template <typename T>
+T parse_field(std::string_view field, std::size_t row) {
+  T value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc{} || ptr != field.data() + field.size()) {
+    throw std::runtime_error("flow trace row " + std::to_string(row) +
+                             ": bad numeric field '" + std::string(field) +
+                             "'");
+  }
+  return value;
+}
+
+std::vector<std::string_view> split(std::string_view line) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      out.push_back(line.substr(start));
+      return out;
+    }
+    out.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+}  // namespace
+
+std::size_t write_flow_trace(std::ostream& os,
+                             const std::vector<net::FlowSpec>& flows) {
+  os << kHeader << '\n';
+  for (const net::FlowSpec& f : flows) {
+    os << f.id << ',' << f.src << ',' << f.dst << ',' << f.size_bytes << ','
+       << f.start_time << '\n';
+  }
+  return flows.size();
+}
+
+std::vector<net::FlowSpec> read_flow_trace(std::istream& is) {
+  std::string line;
+  if (!std::getline(is, line) || line != kHeader) {
+    throw std::runtime_error("flow trace: missing or wrong header");
+  }
+  std::vector<net::FlowSpec> flows;
+  std::size_t row = 1;
+  while (std::getline(is, line)) {
+    ++row;
+    if (line.empty()) continue;
+    const auto fields = split(line);
+    if (fields.size() != 5) {
+      throw std::runtime_error("flow trace row " + std::to_string(row) +
+                               ": expected 5 fields, got " +
+                               std::to_string(fields.size()));
+    }
+    net::FlowSpec spec;
+    spec.id = parse_field<net::FlowId>(fields[0], row);
+    spec.src = parse_field<net::NodeId>(fields[1], row);
+    spec.dst = parse_field<net::NodeId>(fields[2], row);
+    spec.size_bytes = parse_field<std::uint64_t>(fields[3], row);
+    spec.start_time = parse_field<sim::Time>(fields[4], row);
+    flows.push_back(spec);
+  }
+  return flows;
+}
+
+std::size_t save_flow_trace(const std::string& path,
+                            const std::vector<net::FlowSpec>& flows) {
+  std::ofstream os(path);
+  if (!os) throw std::runtime_error("cannot open flow trace for write: " + path);
+  return write_flow_trace(os, flows);
+}
+
+std::vector<net::FlowSpec> load_flow_trace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("cannot open flow trace: " + path);
+  return read_flow_trace(is);
+}
+
+}  // namespace fastcc::workload

@@ -1,0 +1,33 @@
+// Flow-trace serialization: save a generated workload (or load a captured
+// one) as CSV so runs can be replayed exactly across protocols, seeds, and
+// machines — the apples-to-apples comparison the paper's Figures 10-13 rely
+// on.
+//
+// Format (header required):
+//   flow_id,src_host,dst_host,size_bytes,start_time_ns
+// where src/dst are host *indices* (as produced by the Poisson generator),
+// remapped to node ids by the experiment driver.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/flow.h"
+
+namespace fastcc::workload {
+
+/// Writes flow specs as CSV.  Returns the number of rows written.
+std::size_t write_flow_trace(std::ostream& os,
+                             const std::vector<net::FlowSpec>& flows);
+
+/// Parses a CSV flow trace.  Throws std::runtime_error on malformed input
+/// (bad header, non-numeric fields, wrong column count).
+std::vector<net::FlowSpec> read_flow_trace(std::istream& is);
+
+/// Convenience file wrappers.
+std::size_t save_flow_trace(const std::string& path,
+                            const std::vector<net::FlowSpec>& flows);
+std::vector<net::FlowSpec> load_flow_trace(const std::string& path);
+
+}  // namespace fastcc::workload

@@ -1,0 +1,120 @@
+// CalendarQueue: functional tests plus randomized equivalence against the
+// binary-heap EventQueue (both must pop identical sequences).
+#include "sim/calendar_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/random.h"
+
+namespace fastcc::sim {
+namespace {
+
+TEST(CalendarQueue, PopsInTimeOrder) {
+  CalendarQueue q;
+  std::vector<Time> order;
+  for (const Time t : {500, 10, 9999, 1, 700}) {
+    q.schedule(t, [] {});
+  }
+  while (!q.empty()) order.push_back(q.pop_and_run());
+  EXPECT_EQ(order, (std::vector<Time>{1, 10, 500, 700, 9999}));
+}
+
+TEST(CalendarQueue, FifoTieBreakOnEqualTimestamps) {
+  CalendarQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(CalendarQueue, CancelSemanticsMatchEventQueue) {
+  CalendarQueue q;
+  const auto id = q.schedule(5, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));    // double cancel
+  EXPECT_FALSE(q.cancel(999));   // unknown id
+  EXPECT_TRUE(q.empty());
+  const auto id2 = q.schedule(7, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.cancel(id2));   // cancel after fire
+}
+
+TEST(CalendarQueue, ResizesThroughGrowthAndShrink) {
+  CalendarQueue q(/*initial_buckets=*/16, /*initial_width=*/10);
+  // Push far beyond 2x buckets to force doubling (and recalibration).
+  for (int i = 0; i < 5000; ++i) q.schedule(i * 13, [] {});
+  EXPECT_EQ(q.size(), 5000u);
+  Time last = -1;
+  while (!q.empty()) {
+    const Time t = q.pop_and_run();
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+TEST(CalendarQueue, SparseFarFutureEventsFoundViaFallback) {
+  CalendarQueue q(16, 10);
+  // One event years beyond the calendar horizon.
+  bool ran = false;
+  q.schedule(10'000'000, [&] { ran = true; });
+  EXPECT_EQ(q.next_time(), 10'000'000);
+  q.pop_and_run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CalendarQueue, RandomizedEquivalenceWithEventQueue) {
+  // Identical schedule/cancel sequences must pop identical (time, tag)
+  // streams from both implementations.
+  Rng rng(1234);
+  for (int round = 0; round < 5; ++round) {
+    CalendarQueue cal(16, 50);
+    EventQueue heap;
+    std::vector<Time> cal_order, heap_order;
+    std::vector<std::pair<CalendarQueue::Id, EventId>> ids;
+
+    Time clock = 0;
+    for (int i = 0; i < 2000; ++i) {
+      const int op = static_cast<int>(rng.uniform_int(0, 9));
+      if (op < 7 || ids.empty()) {
+        const Time at = clock + rng.uniform_int(0, 5000);
+        ids.emplace_back(cal.schedule(at, [] {}), heap.schedule(at, [] {}));
+      } else if (op == 7 && !ids.empty()) {
+        const auto idx = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(ids.size()) - 1));
+        const bool a = cal.cancel(ids[idx].first);
+        const bool b = heap.cancel(ids[idx].second);
+        EXPECT_EQ(a, b);
+      } else if (!cal.empty()) {
+        ASSERT_FALSE(heap.empty());
+        const Time tc = cal.pop_and_run();
+        const Time th = heap.pop_and_run();
+        EXPECT_EQ(tc, th);
+        clock = tc;
+      }
+    }
+    while (!cal.empty()) {
+      ASSERT_FALSE(heap.empty());
+      cal_order.push_back(cal.pop_and_run());
+      heap_order.push_back(heap.pop_and_run());
+    }
+    EXPECT_TRUE(heap.empty());
+    EXPECT_EQ(cal_order, heap_order);
+  }
+}
+
+TEST(CalendarQueue, MoveOnlyCallbacks) {
+  CalendarQueue q;
+  auto token = std::make_unique<int>(9);
+  int seen = 0;
+  q.schedule(1, [t = std::move(token), &seen] { seen = *t; });
+  q.pop_and_run();
+  EXPECT_EQ(seen, 9);
+}
+
+}  // namespace
+}  // namespace fastcc::sim

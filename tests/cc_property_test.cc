@@ -1,0 +1,131 @@
+// Randomized robustness properties for every congestion controller: under
+// arbitrary (but well-formed) feedback streams, windows and rates must stay
+// finite, positive, and within [floor, line-rate] bounds — no NaNs, no
+// runaway state, regardless of feedback ordering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "cc/dcqcn.h"
+#include "cc/hpcc.h"
+#include "cc/swift.h"
+#include "cc/timely.h"
+#include "net/flow.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+
+namespace fastcc::cc {
+namespace {
+
+constexpr sim::Time kBaseRtt = 5000;
+constexpr sim::Rate kLine = sim::gbps(100);
+
+struct FuzzCase {
+  const char* protocol;
+  std::uint64_t seed;
+};
+
+class CcFuzz : public ::testing::TestWithParam<FuzzCase> {
+ protected:
+  // The simulator only backs DCQCN's timers; advanced manually.
+  sim::Simulator simulator_;
+  sim::Rng cc_rng_{99};
+
+  std::unique_ptr<CongestionControl> make(const std::string& name) {
+    if (name == "hpcc") return std::make_unique<Hpcc>(HpccParams{}, &cc_rng_);
+    if (name == "hpcc-vai-sf") {
+      HpccParams p;
+      p.sampling_freq = 30;
+      p.vai = hpcc_paper_vai(50'000);
+      return std::make_unique<Hpcc>(p, &cc_rng_);
+    }
+    if (name == "swift") return std::make_unique<Swift>(SwiftParams{}, &cc_rng_);
+    if (name == "swift-vai-sf") {
+      SwiftParams p;
+      p.sampling_freq = 30;
+      p.always_ai = true;
+      p.use_fbs = false;
+      p.vai = swift_paper_vai(7000, kBaseRtt, 4000);
+      return std::make_unique<Swift>(p, &cc_rng_);
+    }
+    if (name == "timely") return std::make_unique<Timely>(TimelyParams{});
+    if (name == "dcqcn") {
+      return std::make_unique<Dcqcn>(DcqcnParams{}, simulator_);
+    }
+    ADD_FAILURE() << "unknown protocol " << name;
+    return nullptr;
+  }
+};
+
+TEST_P(CcFuzz, StateStaysBoundedUnderRandomFeedback) {
+  const FuzzCase param = GetParam();
+  sim::Rng rng(param.seed);
+  auto cc = make(param.protocol);
+
+  net::FlowTx flow;
+  flow.spec.size_bytes = 1'000'000'000;
+  flow.line_rate = kLine;
+  flow.base_rtt = kBaseRtt;
+  flow.mtu = 1000;
+  flow.path_hops = 2;
+  cc->on_flow_start(flow);
+
+  sim::Time now = 0;
+  std::uint64_t acked = 0;
+  std::uint64_t tx_bytes = 0;
+  net::IntRecord ints[1];
+
+  for (int i = 0; i < 5000; ++i) {
+    now += rng.uniform_int(1, 5000);
+    const sim::Time rtt = kBaseRtt + rng.uniform_int(0, 100'000);
+    acked += 1000;
+    tx_bytes += static_cast<std::uint64_t>(rng.uniform(0.0, 1.0) * 12'500);
+
+    AckContext ctx;
+    ctx.now = now;
+    ctx.rtt = rtt;
+    ctx.ack_seq = acked;
+    ctx.bytes_acked = 1000;
+    ctx.ecn = rng.chance(0.1);
+    ctx.cnp = rng.chance(0.02);
+    ints[0].timestamp = now - rng.uniform_int(0, 1000);
+    ints[0].tx_bytes = tx_bytes;
+    ints[0].qlen_bytes = static_cast<std::uint32_t>(rng.uniform_int(0, 500'000));
+    ints[0].bandwidth = kLine;
+    ctx.ints = std::span<const net::IntRecord>(ints, 1);
+    flow.snd_nxt = acked + static_cast<std::uint64_t>(rng.uniform_int(0, 60)) * 1000;
+
+    cc->on_ack(ctx, flow);
+
+    ASSERT_TRUE(std::isfinite(flow.window_bytes)) << "ack " << i;
+    ASSERT_TRUE(std::isfinite(flow.rate)) << "ack " << i;
+    ASSERT_GT(flow.window_bytes, 0.0) << "ack " << i;
+    ASSERT_GT(flow.rate, 0.0) << "ack " << i;
+    // Rate never exceeds line rate... except window-protocols may ask for
+    // more; the NIC clamps.  Enforce a sane ceiling anyway.
+    ASSERT_LE(flow.rate, kLine * 1.0001) << "ack " << i;
+  }
+  // Let DCQCN timers drain so the fixture tears down cleanly.
+  simulator_.run(simulator_.now() + 10 * sim::kMillisecond);
+  SUCCEED();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fuzz, CcFuzz,
+    ::testing::Values(FuzzCase{"hpcc", 1}, FuzzCase{"hpcc", 2},
+                      FuzzCase{"hpcc-vai-sf", 3}, FuzzCase{"hpcc-vai-sf", 4},
+                      FuzzCase{"swift", 5}, FuzzCase{"swift", 6},
+                      FuzzCase{"swift-vai-sf", 7}, FuzzCase{"swift-vai-sf", 8},
+                      FuzzCase{"timely", 9}, FuzzCase{"timely", 10},
+                      FuzzCase{"dcqcn", 11}, FuzzCase{"dcqcn", 12}),
+    [](const auto& param_info) {
+      std::string name = param_info.param.protocol;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name + "_seed" + std::to_string(param_info.param.seed);
+    });
+
+}  // namespace
+}  // namespace fastcc::cc

@@ -1,0 +1,107 @@
+// Flow-size CDF sampler and the paper's three workload distributions.
+#include "workload/cdf.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/random.h"
+#include "workload/distributions.h"
+
+namespace fastcc::workload {
+namespace {
+
+Cdf simple_cdf() {
+  return Cdf("simple", {{1000, 0.0}, {2000, 0.5}, {10000, 1.0}});
+}
+
+TEST(Cdf, MeanIsExactForPiecewiseLinear) {
+  const Cdf cdf = simple_cdf();
+  // 0.5 * avg(1000,2000) + 0.5 * avg(2000,10000) = 750 + 3000.
+  EXPECT_DOUBLE_EQ(cdf.mean_bytes(), 3750.0);
+}
+
+TEST(Cdf, ProbabilityBelowInterpolates) {
+  const Cdf cdf = simple_cdf();
+  EXPECT_DOUBLE_EQ(cdf.probability_below(1000), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_below(1500), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.probability_below(2000), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.probability_below(6000), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.probability_below(10000), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.probability_below(99999), 1.0);
+}
+
+TEST(Cdf, SamplesStayWithinSupport) {
+  const Cdf cdf = simple_cdf();
+  sim::Rng rng(1);
+  for (int i = 0; i < 10'000; ++i) {
+    const auto s = cdf.sample(rng);
+    EXPECT_GE(s, 1000u);
+    EXPECT_LE(s, 10'000u);
+  }
+}
+
+TEST(Cdf, SampleMeanConvergesToAnalyticMean) {
+  const Cdf cdf = simple_cdf();
+  sim::Rng rng(2);
+  double sum = 0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(cdf.sample(rng));
+  EXPECT_NEAR(sum / n, cdf.mean_bytes(), 0.02 * cdf.mean_bytes());
+}
+
+TEST(Cdf, SamplingIsDeterministicPerSeed) {
+  const Cdf cdf = simple_cdf();
+  sim::Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(cdf.sample(a), cdf.sample(b));
+}
+
+TEST(Cdf, LeadingNonzeroProbabilityGetsImplicitAnchor) {
+  // First explicit point has positive mass: an implicit (size, 0) anchor
+  // keeps inverse sampling well defined.
+  const Cdf cdf("anchored", {{500, 0.4}, {1000, 1.0}});
+  sim::Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_GE(cdf.sample(rng), 500u);
+}
+
+// ---- The paper's distributions (Section VI-A anchors) ----
+
+TEST(Distributions, HadoopAnchors) {
+  const Cdf& h = hadoop_cdf();
+  // "95% < 300KB" and "2.5% > 1MB".
+  EXPECT_NEAR(h.probability_below(300'000), 0.95, 0.005);
+  EXPECT_NEAR(1.0 - h.probability_below(1'000'000), 0.025, 0.005);
+}
+
+TEST(Distributions, WebSearchHasLongFlowTail) {
+  const Cdf& w = websearch_cdf();
+  // "30% > 1MB" (approximately, the DCTCP websearch shape).
+  const double over_1mb = 1.0 - w.probability_below(1'000'000);
+  EXPECT_GT(over_1mb, 0.2);
+  EXPECT_LT(over_1mb, 0.35);
+}
+
+TEST(Distributions, StorageAnchors) {
+  const Cdf& s = storage_cdf();
+  // "96% < 128KB and 100% < 2MB".
+  EXPECT_NEAR(s.probability_below(131'072), 0.96, 0.005);
+  EXPECT_DOUBLE_EQ(s.probability_below(2'097'152), 1.0);
+  EXPECT_LE(s.max_bytes(), 2'097'152);
+}
+
+TEST(Distributions, MeansOrderedByWorkloadWeight) {
+  // WebSearch is byte-heavy, storage is tiny, hadoop in between.
+  EXPECT_GT(websearch_cdf().mean_bytes(), hadoop_cdf().mean_bytes());
+  EXPECT_GT(hadoop_cdf().mean_bytes(), storage_cdf().mean_bytes());
+}
+
+TEST(Distributions, SampledTailMatchesAnchors) {
+  sim::Rng rng(11);
+  int over_300k = 0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    if (hadoop_cdf().sample(rng) > 300'000) ++over_300k;
+  }
+  EXPECT_NEAR(static_cast<double>(over_300k) / n, 0.05, 0.01);
+}
+
+}  // namespace
+}  // namespace fastcc::workload

@@ -1,0 +1,78 @@
+#include "core/convergence.h"
+
+#include <gtest/gtest.h>
+
+namespace fastcc::core {
+namespace {
+
+stats::TimeSeries ramp_series() {
+  stats::TimeSeries ts("ramp");
+  // Dips to 0.5 then climbs to 1 and stays.
+  ts.add(0, 1.0);
+  ts.add(100, 0.5);
+  ts.add(200, 0.7);
+  ts.add(300, 0.92);
+  ts.add(400, 0.85);  // brief relapse below threshold
+  ts.add(500, 0.95);
+  ts.add(600, 1.0);
+  return ts;
+}
+
+TEST(Convergence, SettleVsFirstReach) {
+  const ConvergenceSummary s = summarize_convergence(ramp_series(), 0.9);
+  EXPECT_EQ(s.first_reach_time, 0);  // the very first sample is 1.0
+  EXPECT_EQ(s.settle_time, 500);     // final stretch begins after the relapse
+}
+
+TEST(Convergence, WorstIndexIgnoresFirstSample) {
+  const ConvergenceSummary s = summarize_convergence(ramp_series(), 0.9);
+  EXPECT_DOUBLE_EQ(s.worst_index, 0.5);
+}
+
+TEST(Convergence, UnfairnessIntegralIsTrapezoidal) {
+  stats::TimeSeries ts("x");
+  ts.add(0, 1.0);
+  ts.add(100, 0.5);  // deficit ramps 0 -> 0.5: area 0.25 * 100
+  ts.add(200, 1.0);  // deficit ramps back: another 25
+  const ConvergenceSummary s = summarize_convergence(ts);
+  EXPECT_NEAR(s.unfairness_integral_ns, 50.0, 1e-9);
+}
+
+TEST(Convergence, PerfectlyFairSeriesHasZeroDebt) {
+  stats::TimeSeries ts("fair");
+  for (int i = 0; i < 10; ++i) ts.add(i * 10, 1.0);
+  const ConvergenceSummary s = summarize_convergence(ts);
+  EXPECT_DOUBLE_EQ(s.unfairness_integral_ns, 0.0);
+  EXPECT_EQ(s.settle_time, 0);
+  EXPECT_DOUBLE_EQ(s.mean_index, 1.0);
+}
+
+TEST(Convergence, NeverSettlingReportsSentinels) {
+  stats::TimeSeries ts("bad");
+  for (int i = 0; i < 10; ++i) ts.add(i * 10, 0.5);
+  const ConvergenceSummary s = summarize_convergence(ts, 0.9);
+  EXPECT_EQ(s.settle_time, -1);
+  EXPECT_EQ(s.first_reach_time, -1);
+}
+
+TEST(Convergence, EmptySeriesIsInert) {
+  stats::TimeSeries ts("empty");
+  const ConvergenceSummary s = summarize_convergence(ts);
+  EXPECT_EQ(s.settle_time, -1);
+  EXPECT_DOUBLE_EQ(s.unfairness_integral_ns, 0.0);
+}
+
+TEST(Convergence, LowerDebtMeansFasterConvergence) {
+  // Sanity link to the paper's use: a series that recovers sooner must show
+  // a strictly smaller unfairness integral.
+  stats::TimeSeries fast("fast"), slow("slow");
+  for (int i = 0; i <= 10; ++i) {
+    fast.add(i * 100, i >= 2 ? 1.0 : 0.4);
+    slow.add(i * 100, i >= 8 ? 1.0 : 0.4);
+  }
+  EXPECT_LT(summarize_convergence(fast).unfairness_integral_ns,
+            summarize_convergence(slow).unfairness_integral_ns);
+}
+
+}  // namespace
+}  // namespace fastcc::core

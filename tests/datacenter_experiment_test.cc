@@ -1,0 +1,130 @@
+// Integration tests of the fat-tree datacenter experiment driver at a tiny
+// CI-budget scale.
+#include "experiments/datacenter.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/fct.h"
+#include "workload/distributions.h"
+#include "workload/poisson.h"
+#include "workload/trace.h"
+
+#include <sstream>
+
+namespace fastcc::exp {
+namespace {
+
+DatacenterConfig tiny_config(Variant v) {
+  DatacenterConfig c;
+  c.variant = v;
+  c.topo = topo::scaled_fat_tree();
+  c.components = {{&workload::hadoop_cdf(), 1.0}};
+  c.load = 0.4;
+  c.generate_duration = 200 * sim::kMicrosecond;
+  c.seed = 3;
+  return c;
+}
+
+TEST(DatacenterExperiment, AllFlowsCompleteLosslessly) {
+  const DatacenterResult r = run_datacenter(tiny_config(Variant::kHpcc));
+  EXPECT_GT(r.flows.size(), 50u);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(DatacenterExperiment, SlowdownsAreAtLeastOne) {
+  const DatacenterResult r = run_datacenter(tiny_config(Variant::kHpcc));
+  for (const auto& f : r.flows) {
+    EXPECT_GE(f.slowdown(), 0.999) << "flow " << f.id << " beat the ideal";
+  }
+}
+
+TEST(DatacenterExperiment, DeterministicAcrossRuns) {
+  const DatacenterResult a = run_datacenter(tiny_config(Variant::kSwift));
+  const DatacenterResult b = run_datacenter(tiny_config(Variant::kSwift));
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(DatacenterExperiment, SeedChangesTheWorkload) {
+  DatacenterConfig c1 = tiny_config(Variant::kHpcc);
+  DatacenterConfig c2 = tiny_config(Variant::kHpcc);
+  c2.seed = 4;
+  const DatacenterResult a = run_datacenter(c1);
+  const DatacenterResult b = run_datacenter(c2);
+  EXPECT_NE(a.events_executed, b.events_executed);
+}
+
+TEST(DatacenterExperiment, SlowdownTableIsWellFormed) {
+  const DatacenterResult r = run_datacenter(tiny_config(Variant::kHpccVaiSf));
+  const auto rows = stats::slowdown_by_size(r.flows, 10, 50.0);
+  ASSERT_GT(rows.size(), 5u);
+  for (std::size_t i = 1; i < rows.size(); ++i) {
+    EXPECT_GE(rows[i].max_size_bytes, rows[i - 1].max_size_bytes);
+    EXPECT_GE(rows[i].slowdown, 1.0);
+  }
+}
+
+TEST(DatacenterExperiment, MixedWorkloadDrawsFromBothCdfs) {
+  DatacenterConfig c = tiny_config(Variant::kHpcc);
+  c.components = {{&workload::websearch_cdf(), 0.5},
+                  {&workload::storage_cdf(), 0.5}};
+  const DatacenterResult r = run_datacenter(c);
+  // Storage flows are tiny and numerous; websearch contributes multi-MB
+  // flows.  Both signatures must appear.
+  bool has_small = false, has_large = false;
+  for (const auto& f : r.flows) {
+    if (f.size_bytes < 10'000) has_small = true;
+    if (f.size_bytes > 1'000'000) has_large = true;
+  }
+  EXPECT_TRUE(has_small);
+  EXPECT_TRUE(has_large);
+}
+
+TEST(DatacenterExperiment, TraceReplayMatchesGeneratedRun) {
+  // Replaying the exact flow schedule through preset_flows must reproduce
+  // the generated run event-for-event.
+  DatacenterConfig generated = tiny_config(Variant::kHpcc);
+  const DatacenterResult a = run_datacenter(generated);
+
+  // Regenerate the same schedule out-of-band (same derivation as the driver:
+  // network rng seeded with config.seed, generator stream forked once).
+  workload::PoissonTrafficParams traffic;
+  traffic.components = generated.components;
+  traffic.load = generated.load;
+  traffic.host_bandwidth = generated.topo.host_bandwidth;
+  traffic.host_count = generated.topo.host_count();
+  traffic.duration = generated.generate_duration;
+  sim::Rng base(generated.seed);
+  sim::Rng traffic_rng = base.fork();
+  std::vector<net::FlowSpec> flows =
+      workload::generate_poisson_traffic(traffic, traffic_rng);
+
+  // Round-trip the schedule through the CSV trace format.
+  std::stringstream buffer;
+  workload::write_flow_trace(buffer, flows);
+  DatacenterConfig replay = tiny_config(Variant::kHpcc);
+  replay.preset_flows = workload::read_flow_trace(buffer);
+  const DatacenterResult b = run_datacenter(replay);
+
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  EXPECT_EQ(a.events_executed, b.events_executed);
+}
+
+TEST(DatacenterExperiment, OversubscribedFabricStillCompletes) {
+  DatacenterConfig c = tiny_config(Variant::kHpccVaiSf);
+  c.topo = topo::with_oversubscription(topo::scaled_fat_tree(), 4.0);
+  c.load = 0.2;  // offered load must fit the thinner core
+  const DatacenterResult r = run_datacenter(c);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+TEST(DatacenterExperiment, DcqcnRunsWithRedAndPfc) {
+  const DatacenterResult r = run_datacenter(tiny_config(Variant::kDcqcn));
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_EQ(r.drops, 0u);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

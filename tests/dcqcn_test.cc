@@ -1,0 +1,135 @@
+// DCQCN unit tests: CNP reaction, alpha dynamics, staged recovery.
+#include "cc/dcqcn.h"
+
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+#include "sim/simulator.h"
+
+namespace fastcc::cc {
+namespace {
+
+constexpr sim::Rate kLine = sim::gbps(100);
+
+struct DcqcnHarness {
+  sim::Simulator simulator;
+  DcqcnParams params;
+  net::FlowTx flow;
+  std::unique_ptr<Dcqcn> cc;
+
+  DcqcnHarness() {
+    flow.spec.size_bytes = 1'000'000'000;
+    flow.line_rate = kLine;
+    flow.base_rtt = 5000;
+    flow.mtu = 1000;
+    cc = std::make_unique<Dcqcn>(params, simulator);
+    cc->on_flow_start(flow);
+  }
+
+  void ack(bool cnp, std::uint32_t bytes = 1000) {
+    AckContext ctx;
+    ctx.now = simulator.now();
+    ctx.rtt = 6000;
+    ctx.cnp = cnp;
+    ctx.bytes_acked = bytes;
+    cc->on_ack(ctx, flow);
+  }
+};
+
+TEST(Dcqcn, StartsAtLineRateWithUnlimitedWindow) {
+  DcqcnHarness h;
+  EXPECT_DOUBLE_EQ(h.flow.rate, kLine);
+  EXPECT_GT(h.flow.window_bytes, 1e15);
+}
+
+TEST(Dcqcn, CnpCutsRateByAlphaHalf) {
+  DcqcnHarness h;
+  // First CNP: alpha ~1 -> rate roughly halves.
+  h.ack(true);
+  EXPECT_NEAR(h.flow.rate, kLine * 0.5, kLine * 0.01);
+  EXPECT_DOUBLE_EQ(h.cc->target_rate(), kLine);
+}
+
+TEST(Dcqcn, RepeatedCnpsKeepCutting) {
+  DcqcnHarness h;
+  h.ack(true);
+  const double after_one = h.flow.rate;
+  h.ack(true);
+  EXPECT_LT(h.flow.rate, after_one);
+  EXPECT_GE(h.flow.rate, h.params.min_rate);
+}
+
+TEST(Dcqcn, RateNeverBelowMinRate) {
+  DcqcnHarness h;
+  for (int i = 0; i < 100; ++i) h.ack(true);
+  EXPECT_GE(h.flow.rate, h.params.min_rate);
+}
+
+TEST(Dcqcn, AlphaDecaysWithoutCnps) {
+  DcqcnHarness h;
+  h.ack(true);
+  const double alpha_after_cnp = h.cc->alpha();
+  h.simulator.run(h.simulator.now() + 20 * h.params.alpha_update_interval);
+  EXPECT_LT(h.cc->alpha(), alpha_after_cnp * 0.95);
+}
+
+TEST(Dcqcn, TimerDrivenRecoveryClimbsBackTowardTarget) {
+  DcqcnHarness h;
+  h.ack(true);
+  const double cut_rate = h.flow.rate;
+  // Let several increase-timer periods elapse (fast recovery halves the gap
+  // to the pre-cut target each time).
+  h.simulator.run(h.simulator.now() + 6 * h.params.rate_increase_timer);
+  EXPECT_GT(h.flow.rate, cut_rate * 1.5);
+}
+
+TEST(Dcqcn, ByteCounterDrivesRecoveryToo) {
+  DcqcnHarness h;
+  h.ack(true);
+  const double cut_rate = h.flow.rate;
+  // Ack one full byte-counter worth of data without CNPs.
+  const int acks = static_cast<int>(h.params.byte_counter / 1000) + 1;
+  for (int i = 0; i < acks; ++i) h.ack(false);
+  EXPECT_GT(h.flow.rate, cut_rate);
+}
+
+TEST(Dcqcn, HyperIncreaseAfterManyQuietStages) {
+  DcqcnHarness h;
+  h.ack(true);
+  // Run long enough for timer stages to pass fast recovery into additive /
+  // hyper territory: rate should recover essentially to line rate.
+  h.simulator.run(h.simulator.now() + 60 * h.params.rate_increase_timer);
+  EXPECT_GT(h.flow.rate, 0.95 * kLine);
+}
+
+TEST(Dcqcn, TimersStopOnceFlowFinishes) {
+  DcqcnHarness h;
+  h.ack(true);
+  h.flow.finish_time = h.simulator.now();  // flow completes
+  // Each armed timer may fire once more, observe the finished flow, and must
+  // not re-arm — otherwise simulations would never drain their event queues.
+  const auto executed = h.simulator.events_executed();
+  h.simulator.run(h.simulator.now() + 100 * h.params.rate_increase_timer);
+  EXPECT_LE(h.simulator.events_executed() - executed, 2u);
+}
+
+TEST(Dcqcn, RecoveryTimerQuiescesAtLineRate) {
+  DcqcnHarness h;
+  h.ack(true);
+  // Long quiet period: rate snaps back to exactly line rate and the
+  // increase timer stops re-arming (alpha decay may still tick).
+  h.simulator.run(h.simulator.now() + 100 * h.params.rate_increase_timer);
+  EXPECT_DOUBLE_EQ(h.flow.rate, kLine);
+}
+
+TEST(Dcqcn, CnpAfterRecoveryRestartsCycle) {
+  DcqcnHarness h;
+  h.ack(true);
+  h.simulator.run(h.simulator.now() + 60 * h.params.rate_increase_timer);
+  ASSERT_GT(h.flow.rate, 0.9 * kLine);
+  h.ack(true);
+  EXPECT_LT(h.flow.rate, 0.8 * kLine);
+}
+
+}  // namespace
+}  // namespace fastcc::cc

@@ -1,0 +1,111 @@
+// DCTCP unit tests: alpha EWMA, proportional decrease, per-window reaction.
+#include "cc/dctcp.h"
+
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+
+namespace fastcc::cc {
+namespace {
+
+constexpr sim::Time kBaseRtt = 5000;
+constexpr sim::Rate kLine = sim::gbps(100);
+const double kBdpPkts = kLine * kBaseRtt / 1000.0;
+
+class DctcpDriver {
+ public:
+  explicit DctcpDriver(const DctcpParams& params = DctcpParams{})
+      : cc_(params) {
+    flow_.spec.size_bytes = 1'000'000'000;
+    flow_.line_rate = kLine;
+    flow_.base_rtt = kBaseRtt;
+    flow_.mtu = 1000;
+    cc_.on_flow_start(flow_);
+  }
+
+  /// Feeds one observation window of ACKs, `marked` of them ECN-marked.
+  /// The protocol reacts to this window on the first ACK of the *next*
+  /// window() call (standard boundary-crossing semantics).
+  void window(int acks, int marked) {
+    // All of this window's packets are outstanding when it begins.
+    flow_.snd_nxt = acked_ + static_cast<std::uint64_t>(acks) * 1000;
+    for (int i = 0; i < acks; ++i) {
+      AckContext ctx;
+      acked_ += 1000;
+      ctx.ack_seq = acked_;
+      ctx.bytes_acked = 1000;
+      ctx.ecn = i < marked;
+      cc_.on_ack(ctx, flow_);
+    }
+  }
+
+  net::FlowTx& flow() { return flow_; }
+  Dctcp& cc() { return cc_; }
+
+ private:
+  Dctcp cc_;
+  net::FlowTx flow_;
+  std::uint64_t acked_ = 0;
+};
+
+TEST(Dctcp, StartsAtLineRateBdp) {
+  DctcpDriver d;
+  EXPECT_NEAR(d.cc().cwnd_packets(), kBdpPkts, 1e-9);
+}
+
+TEST(Dctcp, CleanWindowGrowsByOnePacket) {
+  DctcpParams p;
+  p.g = 1.0;
+  DctcpDriver d{p};
+  // Sink the window first so growth is visible below the clamp.
+  for (int i = 0; i < 6; ++i) d.window(10, 10);
+  d.window(10, 0);  // clean window...
+  const double c0 = d.cc().cwnd_packets();
+  d.window(10, 0);  // ...whose reaction (+1) lands on this window's first ack
+  EXPECT_NEAR(d.cc().cwnd_packets(), c0 + 1.0, 1e-9);
+}
+
+TEST(Dctcp, AlphaTracksMarkedFraction) {
+  DctcpParams p;
+  p.g = 0.5;  // fast EWMA for the test
+  DctcpDriver d{p};
+  d.window(10, 5);   // half marked
+  d.window(10, 10);  // rolls window 1: alpha = 0.5 * 0.5
+  EXPECT_NEAR(d.cc().alpha(), 0.25, 1e-9);
+  d.window(1, 0);    // rolls window 2 (fully marked)
+  EXPECT_NEAR(d.cc().alpha(), 0.625, 1e-9);  // 0.5*0.25 + 0.5*1
+}
+
+TEST(Dctcp, DecreaseProportionalToAlpha) {
+  DctcpParams p;
+  p.g = 1.0;  // alpha == last window's fraction
+  DctcpDriver light{p}, heavy{p};
+  const double c0 = light.cc().cwnd_packets();
+  light.window(10, 1);  // 10% marked -> alpha 0.1 -> cut 5%
+  heavy.window(10, 10); // 100% marked -> alpha 1.0 -> cut 50%
+  light.window(1, 0);   // boundary crossings commit the reactions
+  heavy.window(1, 0);
+  EXPECT_NEAR(light.cc().cwnd_packets(), c0 * 0.95, 1e-6);
+  EXPECT_NEAR(heavy.cc().cwnd_packets(), c0 * 0.5, 1e-6);
+}
+
+TEST(Dctcp, ReactsAtMostOncePerWindow) {
+  DctcpParams p;
+  p.g = 1.0;
+  DctcpDriver d{p};
+  const double c0 = d.cc().cwnd_packets();
+  d.window(20, 20);  // all marked
+  d.window(1, 0);    // exactly one cut commits
+  EXPECT_NEAR(d.cc().cwnd_packets(), c0 * 0.5, 1e-6);
+}
+
+TEST(Dctcp, WindowFloorHolds) {
+  DctcpParams p;
+  p.g = 1.0;
+  DctcpDriver d{p};
+  for (int i = 0; i < 100; ++i) d.window(4, 4);
+  EXPECT_GE(d.cc().cwnd_packets(), p.min_cwnd_packets - 1e-12);
+}
+
+}  // namespace
+}  // namespace fastcc::cc

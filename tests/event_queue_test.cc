@@ -1,0 +1,121 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace fastcc::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(30, [&] { order.push_back(3); });
+  q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimestampsFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    q.schedule(100, [&order, i] { order.push_back(i); });
+  }
+  while (!q.empty()) q.pop_and_run();
+  ASSERT_EQ(order.size(), 8u);
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, NextTimeReportsEarliestLiveEvent) {
+  EventQueue q;
+  q.schedule(50, [] {});
+  q.schedule(5, [] {});
+  EXPECT_EQ(q.next_time(), 5);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(10, [&] { ran = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelledHeadIsSkipped) {
+  EventQueue q;
+  std::vector<int> order;
+  const EventId first = q.schedule(10, [&] { order.push_back(1); });
+  q.schedule(20, [&] { order.push_back(2); });
+  q.cancel(first);
+  EXPECT_EQ(q.next_time(), 20);
+  q.pop_and_run();
+  EXPECT_EQ(order, std::vector<int>{2});
+}
+
+TEST(EventQueue, CancelAfterFireIsNoop) {
+  EventQueue q;
+  const EventId id = q.schedule(1, [] {});
+  q.pop_and_run();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, SchedulingInsideCallbackWorks) {
+  EventQueue q;
+  std::vector<Time> fired;
+  q.schedule(10, [&] {
+    fired.push_back(10);
+    q.schedule(15, [&] { fired.push_back(15); });
+  });
+  while (!q.empty()) fired.push_back(q.pop_and_run());
+  // Interleaving: outer callback records 10, pop returns 10, then 15 twice.
+  EXPECT_EQ(fired, (std::vector<Time>{10, 10, 15, 15}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  const EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop_and_run();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MoveOnlyCallbacksAreSupported) {
+  EventQueue q;
+  auto token = std::make_unique<int>(7);
+  int observed = 0;
+  q.schedule(1, [t = std::move(token), &observed] { observed = *t; });
+  q.pop_and_run();
+  EXPECT_EQ(observed, 7);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering) {
+  EventQueue q;
+  Time last = -1;
+  bool monotone = true;
+  for (int i = 0; i < 5000; ++i) {
+    const Time t = (i * 7919) % 1000;  // scattered times
+    q.schedule(t, [] {});
+  }
+  while (!q.empty()) {
+    const Time t = q.pop_and_run();
+    monotone = monotone && (t >= last);
+    last = t;
+  }
+  EXPECT_TRUE(monotone);
+}
+
+}  // namespace
+}  // namespace fastcc::sim

@@ -1,0 +1,74 @@
+// Failure injection at the experiment level: tiny switch buffers force
+// drops during incast; every protocol must still complete correctly via
+// go-back-N, and enabling PFC must restore losslessness with the same tiny
+// buffers.
+#include <gtest/gtest.h>
+
+#include "experiments/incast.h"
+
+namespace fastcc::exp {
+namespace {
+
+IncastConfig lossy_config(Variant v) {
+  IncastConfig c;
+  c.variant = v;
+  c.pattern.senders = 8;
+  c.pattern.flow_bytes = 120'000;
+  c.star.host_count = 9;
+  // ~32 packets of buffer against an 8-way line-rate burst: must overflow.
+  c.buffer_limit_bytes = 32 * 1048;
+  return c;
+}
+
+class LossyIncast : public ::testing::TestWithParam<Variant> {};
+
+TEST_P(LossyIncast, DropsHappenYetEveryFlowCompletes) {
+  const IncastResult r = run_incast(lossy_config(GetParam()));
+  EXPECT_GT(r.drops, 0u);
+  ASSERT_EQ(r.flows.size(), 8u);
+  for (const FlowTiming& f : r.flows) {
+    EXPECT_GT(f.finish, f.start);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, LossyIncast,
+                         ::testing::Values(Variant::kHpcc,
+                                           Variant::kHpccVaiSf,
+                                           Variant::kSwift,
+                                           Variant::kSwiftVaiSf),
+                         [](const auto& param_info) {
+                           std::string name = variant_name(param_info.param);
+                           for (char& c : name) {
+                             if (c == ' ') c = '_';
+                           }
+                           return name;
+                         });
+
+TEST(LossyIncastPfc, PfcRestoresLosslessnessWithTinyBuffers) {
+  IncastConfig c = lossy_config(Variant::kHpcc);
+  // PFC headroom per ingress port = pause threshold + one propagation
+  // delay's worth of line-rate arrivals (~12.5 KB at 100G / 1 us) + one MTU;
+  // the shared egress buffer must cover all 8 senders' worth.
+  c.buffer_limit_bytes = 256 * 1048;
+  c.pfc.pause_bytes = 8 * 1048;
+  c.pfc.resume_bytes = 4 * 1048;
+  const IncastResult r = run_incast(c);
+  EXPECT_EQ(r.drops, 0u);
+  EXPECT_EQ(r.flows.size(), 8u);
+}
+
+TEST(LossyIncastPfc, LossyRunIsSlowerThanLossless) {
+  // Retransmissions waste bottleneck bandwidth: completion must take longer
+  // than the lossless PFC run of the same workload.
+  IncastConfig lossy = lossy_config(Variant::kHpcc);
+  IncastConfig clean = lossy_config(Variant::kHpcc);
+  clean.buffer_limit_bytes = 256 * 1048;
+  clean.pfc.pause_bytes = 8 * 1048;
+  clean.pfc.resume_bytes = 4 * 1048;
+  const IncastResult a = run_incast(lossy);
+  const IncastResult b = run_incast(clean);
+  EXPECT_GT(a.completion_time, b.completion_time);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

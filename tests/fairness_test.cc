@@ -1,0 +1,87 @@
+#include "core/fairness.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace fastcc::core {
+namespace {
+
+TEST(JainIndex, EqualAllocationIsPerfectlyFair) {
+  const std::array<double, 4> x{5.0, 5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(jain_index(x), 1.0);
+}
+
+TEST(JainIndex, ScaleInvariant) {
+  const std::array<double, 3> a{1.0, 2.0, 3.0};
+  const std::array<double, 3> b{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(jain_index(a), jain_index(b));
+}
+
+TEST(JainIndex, OneHotAllocationScoresOneOverN) {
+  const std::array<double, 8> x{1.0, 0, 0, 0, 0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(jain_index(x), 1.0 / 8.0);
+}
+
+TEST(JainIndex, KnownTwoFlowValue) {
+  // Rates 2:1 -> (3)^2 / (2 * 5) = 0.9.
+  const std::array<double, 2> x{2.0, 1.0};
+  EXPECT_DOUBLE_EQ(jain_index(x), 0.9);
+}
+
+TEST(JainIndex, EdgeCasesAreVacuouslyFair) {
+  EXPECT_DOUBLE_EQ(jain_index({}), 1.0);
+  const std::array<double, 3> zeros{0.0, 0.0, 0.0};
+  EXPECT_DOUBLE_EQ(jain_index(zeros), 1.0);
+}
+
+TEST(JainIndex, BoundedByOneOverNAndOne) {
+  const std::array<double, 5> x{0.1, 7.3, 2.2, 9.9, 0.4};
+  const double j = jain_index(x);
+  EXPECT_GE(j, 1.0 / 5.0);
+  EXPECT_LE(j, 1.0);
+}
+
+TEST(JainSampler, ComputesIndexOverAckedDeltas) {
+  net::FlowTx f1, f2;
+  f1.spec.start_time = 0;
+  f2.spec.start_time = 0;
+  JainSampler sampler({&f1, &f2});
+  f1.cum_acked = 1000;
+  f2.cum_acked = 1000;
+  EXPECT_DOUBLE_EQ(sampler.sample(0, 100), 1.0);
+  f1.cum_acked = 3000;  // +2000
+  f2.cum_acked = 2000;  // +1000
+  EXPECT_DOUBLE_EQ(sampler.sample(100, 200), 0.9);
+}
+
+TEST(JainSampler, ExcludesNotYetStartedFlows) {
+  net::FlowTx early, late;
+  early.spec.start_time = 0;
+  late.spec.start_time = 1'000'000;
+  JainSampler sampler({&early, &late});
+  early.cum_acked = 5000;
+  EXPECT_DOUBLE_EQ(sampler.sample(0, 100), 1.0);  // only `early` counts
+}
+
+TEST(JainSampler, ExcludesLongFinishedFlows) {
+  net::FlowTx done, live;
+  done.spec.start_time = 0;
+  done.finish_time = 50;
+  live.spec.start_time = 0;
+  JainSampler sampler({&done, &live});
+  done.cum_acked = 1000;
+  live.cum_acked = 1000;
+  // Window [100, 200): `done` finished before it began.
+  EXPECT_DOUBLE_EQ(sampler.sample(100, 200), 1.0);
+}
+
+TEST(JainSampler, NoActiveFlowsReturnsSentinel) {
+  net::FlowTx future;
+  future.spec.start_time = 1'000'000;
+  JainSampler sampler({&future});
+  EXPECT_DOUBLE_EQ(sampler.sample(0, 100), -1.0);
+}
+
+}  // namespace
+}  // namespace fastcc::core

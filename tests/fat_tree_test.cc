@@ -1,0 +1,150 @@
+// Validates the paper's Figure 7 topology: 320 hosts in 5 pods, 4 ToR +
+// 4 Agg per pod, 16 spines, 100 Gbps edge / 400 Gbps fabric.
+#include "topo/fat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "net/network.h"
+#include "sim/simulator.h"
+
+namespace fastcc::topo {
+namespace {
+
+struct FullTree : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  FatTree tree;
+  void SetUp() override { tree = build_fat_tree(network, full_scale_fat_tree()); }
+};
+
+TEST_F(FullTree, PaperScaleCounts) {
+  EXPECT_EQ(tree.hosts.size(), 320u);
+  EXPECT_EQ(tree.tors.size(), 20u);
+  EXPECT_EQ(tree.aggs.size(), 20u);
+  EXPECT_EQ(tree.spines.size(), 16u);
+}
+
+TEST_F(FullTree, PortCountsMatchShape) {
+  // ToR: 16 hosts + 4 aggs.
+  for (auto* tor : tree.tors) EXPECT_EQ(tor->port_count(), 20);
+  // Agg: 4 ToRs + 4 spines.
+  for (auto* agg : tree.aggs) EXPECT_EQ(agg->port_count(), 8);
+  // Spine: one link per pod's matching agg = 5.
+  for (auto* spine : tree.spines) EXPECT_EQ(spine->port_count(), 5);
+  for (auto* host : tree.hosts) EXPECT_EQ(host->port_count(), 1);
+}
+
+TEST_F(FullTree, HopCountsByLocality) {
+  // Same ToR: host -> ToR -> host = 2 links.
+  EXPECT_EQ(network.path(tree.hosts[0]->id(), tree.hosts[1]->id()).hops, 2);
+  // Same pod, different ToR: host -> ToR -> Agg -> ToR -> host = 4 links.
+  EXPECT_EQ(network.path(tree.hosts[0]->id(), tree.hosts[16]->id()).hops, 4);
+  // Different pod: through a spine = 6 links (the paper's "5 hops" between
+  // switches).
+  EXPECT_EQ(network.path(tree.hosts[0]->id(), tree.hosts[319]->id()).hops, 6);
+}
+
+TEST_F(FullTree, HostLinkIsTheBottleneck) {
+  const net::PathInfo p =
+      network.path(tree.hosts[0]->id(), tree.hosts[319]->id());
+  EXPECT_DOUBLE_EQ(p.bottleneck, sim::gbps(100));
+}
+
+TEST_F(FullTree, TorHasEcmpFanoutAcrossPod) {
+  // From a ToR, a host in another pod is reachable via all 4 aggs.
+  net::SwitchNode* tor = tree.tors[0];
+  const auto& routes = tor->routes(tree.hosts[319]->id());
+  EXPECT_EQ(routes.size(), 4u);
+}
+
+TEST_F(FullTree, AggHasEcmpFanoutAcrossSpineGroup) {
+  net::SwitchNode* agg = tree.aggs[0];
+  const auto& routes = agg->routes(tree.hosts[319]->id());
+  EXPECT_EQ(routes.size(), 4u);  // its spine group
+}
+
+TEST_F(FullTree, IntraPodTrafficNeverUsesSpines) {
+  // Routes from a ToR toward a same-pod host go via aggs (4-way) or directly.
+  net::SwitchNode* tor = tree.tors[0];
+  const auto& direct = tor->routes(tree.hosts[0]->id());
+  ASSERT_EQ(direct.size(), 1u);
+  EXPECT_EQ(tor->port(direct[0]).peer(), tree.hosts[0]);
+}
+
+TEST_F(FullTree, EcmpSpreadsDistinctFlowsAcrossAggsAndSpines) {
+  // Many flows between the same host pair classes should collectively touch
+  // every equal-cost uplink at the source ToR.
+  net::SwitchNode* tor = tree.tors[0];
+  const net::NodeId far_host = tree.hosts[319]->id();
+  std::set<int> ports_used;
+  for (net::FlowId f = 1; f <= 64; ++f) {
+    ports_used.insert(tor->select_port(far_host, f, tree.hosts[0]->id()));
+  }
+  EXPECT_EQ(ports_used.size(), 4u);  // all four aggs exercised
+}
+
+TEST_F(FullTree, EveryHostPairSampleIsRoutable) {
+  // Spot-check routability across pods, ToRs, and host positions.
+  for (const int a : {0, 17, 63, 128, 200, 319}) {
+    for (const int b : {5, 64, 190, 318}) {
+      if (a == b) continue;
+      const net::PathInfo p =
+          network.path(tree.hosts[a]->id(), tree.hosts[b]->id());
+      EXPECT_GE(p.hops, 2);
+      EXPECT_LE(p.hops, 6);
+      EXPECT_GT(p.base_rtt, 0);
+    }
+  }
+}
+
+TEST(FatTreeScaled, ShapePreserved) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  const FatTreeParams p = scaled_fat_tree();
+  FatTree tree = build_fat_tree(network, p);
+  EXPECT_EQ(tree.hosts.size(), static_cast<std::size_t>(p.host_count()));
+  EXPECT_EQ(network.path(tree.hosts[0]->id(), tree.hosts.back()->id()).hops, 6);
+  EXPECT_EQ(network.path(tree.hosts[0]->id(), tree.hosts[1]->id()).hops, 2);
+}
+
+TEST(FatTreeOversubscribed, FabricBecomesTheBottleneck) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  // 4:1 oversubscription: each of the 2 aggs gets (8 hosts x 100G / 4) / 2
+  // = 100 Gbps of uplink; same-pod cross-ToR paths bottleneck in the fabric.
+  const FatTreeParams p = with_oversubscription(scaled_fat_tree(), 4.0);
+  EXPECT_DOUBLE_EQ(p.fabric_bandwidth, sim::gbps(100));
+  FatTree tree = build_fat_tree(network, p);
+  const net::PathInfo cross =
+      network.path(tree.hosts[0]->id(), tree.hosts.back()->id());
+  EXPECT_DOUBLE_EQ(cross.bottleneck, sim::gbps(100));
+}
+
+TEST(FatTreeOversubscribed, RatioOneIsNonBlocking) {
+  const FatTreeParams p = with_oversubscription(scaled_fat_tree(), 1.0);
+  // 8 hosts x 100G over 2 aggs = 400G per fabric link: the paper's shape.
+  EXPECT_DOUBLE_EQ(p.fabric_bandwidth, sim::gbps(400));
+}
+
+TEST(FatTreeScaled, BaseRttMatchesHandComputation) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  FatTree tree = build_fat_tree(network, scaled_fat_tree());
+  // Cross-pod: 6 links; two at 100 Gbps (hosts), four at 400 Gbps.
+  const net::PathInfo p =
+      network.path(tree.hosts[0]->id(), tree.hosts.back()->id(), 1000);
+  sim::Time expected = 0;
+  auto link = [&](sim::Rate bw) {
+    expected += 2000 + sim::serialization_time(1048, bw) +
+                sim::serialization_time(net::kAckBytes, bw);
+  };
+  link(sim::gbps(100));
+  for (int i = 0; i < 4; ++i) link(sim::gbps(400));
+  link(sim::gbps(100));
+  EXPECT_EQ(p.base_rtt, expected);
+}
+
+}  // namespace
+}  // namespace fastcc::topo

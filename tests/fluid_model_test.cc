@@ -1,0 +1,125 @@
+// Fluid model (Section IV-B / Figure 4): closed forms, RK4 cross-check, and
+// the paper's convergence condition.
+#include "core/fluid_model.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "sim/time.h"
+
+namespace fastcc::core {
+namespace {
+
+FluidModelParams paper_params() {
+  FluidModelParams p;
+  p.beta = 0.5;
+  p.rtt_ns = 30'000;
+  p.mtu_bytes = 1000;
+  p.s_acks = 30;
+  return p;
+}
+
+TEST(FluidModel, ClosedFormsMatchInitialConditions) {
+  const FluidModelParams p = paper_params();
+  EXPECT_DOUBLE_EQ(sampling_frequency_rate(12.5, 0.0, p), 12.5);
+  EXPECT_DOUBLE_EQ(per_rtt_rate(12.5, 0.0, p), 12.5);
+}
+
+TEST(FluidModel, BothSchedulesDecayMonotonically) {
+  const FluidModelParams p = paper_params();
+  double prev_sf = 1e18, prev_rtt = 1e18;
+  for (double t = 0; t <= 200'000; t += 10'000) {
+    const double sf = sampling_frequency_rate(12.5, t, p);
+    const double rt = per_rtt_rate(12.5, t, p);
+    EXPECT_LT(sf, prev_sf);
+    EXPECT_LT(rt, prev_rtt);
+    EXPECT_GT(sf, 0.0);
+    EXPECT_GT(rt, 0.0);
+    prev_sf = sf;
+    prev_rtt = rt;
+  }
+}
+
+TEST(FluidModel, SfDecayIsRateProportionalSquared) {
+  // The per-s-ACK ODE decays faster from higher rates: the ratio
+  // S_fast/S_slow must shrink over time (the fairness mechanism itself).
+  const FluidModelParams p = paper_params();
+  const double t = 100'000;
+  const double fast = sampling_frequency_rate(12.5, t, p);
+  const double slow = sampling_frequency_rate(6.25, t, p);
+  EXPECT_LT(fast / slow, 2.0);
+  // The per-RTT schedule preserves the ratio exactly.
+  EXPECT_NEAR(per_rtt_rate(12.5, t, p) / per_rtt_rate(6.25, t, p), 2.0, 1e-9);
+}
+
+struct Rk4Case {
+  double initial_rate;
+  double t_ns;
+};
+
+class FluidModelRk4 : public ::testing::TestWithParam<Rk4Case> {};
+
+TEST_P(FluidModelRk4, NumericalIntegrationMatchesClosedForm) {
+  const FluidModelParams p = paper_params();
+  const auto [r0, t] = GetParam();
+  const FluidRates rates = integrate_rk4(r0, t, /*dt=*/10.0, p);
+  EXPECT_NEAR(rates.sf_rate, sampling_frequency_rate(r0, t, p),
+              1e-6 * sampling_frequency_rate(r0, t, p));
+  EXPECT_NEAR(rates.rtt_rate, per_rtt_rate(r0, t, p),
+              1e-6 * per_rtt_rate(r0, t, p));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FluidModelRk4,
+    ::testing::Values(Rk4Case{12.5, 10'000}, Rk4Case{12.5, 100'000},
+                      Rk4Case{6.25, 50'000}, Rk4Case{1.0, 300'000},
+                      Rk4Case{50.0, 30'000}, Rk4Case{0.1, 500'000}));
+
+TEST(FluidModel, PaperConditionHoldsForFigureFourSetup) {
+  // 1/r < (C1 + C0) / (s * MTU): 1/30000 < 18.75/30000.
+  EXPECT_TRUE(sf_converges_faster(12.5, 6.25, paper_params()));
+}
+
+TEST(FluidModel, ConditionFailsForSlowRatesAndShortRtt) {
+  FluidModelParams p = paper_params();
+  p.rtt_ns = 1000;  // very short RTT favours the per-RTT schedule
+  EXPECT_FALSE(sf_converges_faster(0.01, 0.005, p));
+}
+
+TEST(FluidModel, FigureFourSeriesIsPositiveAndUnimodal) {
+  // The paper's Figure 4: the fairness difference rises from zero (SF
+  // converges faster early) and then diminishes as both schedules approach
+  // zero rate.
+  const auto series = fairness_difference_series(12.5, 6.25, 300'000, 1'000,
+                                                 paper_params());
+  ASSERT_GT(series.size(), 100u);
+  EXPECT_NEAR(series.front().difference, 0.0, 1e-12);
+  double peak = 0.0;
+  std::size_t peak_idx = 0;
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    EXPECT_GE(series[i].difference, -1e-9) << "SF fell behind at point " << i;
+    if (series[i].difference > peak) {
+      peak = series[i].difference;
+      peak_idx = i;
+    }
+  }
+  EXPECT_GT(peak, 0.0);
+  // After the peak the difference diminishes (paper: "Over time the fairness
+  // difference diminishes").
+  EXPECT_LT(series.back().difference, peak * 0.8);
+  EXPECT_GT(peak_idx, 0u);
+  EXPECT_LT(peak_idx, series.size() - 1);
+}
+
+TEST(FluidModel, GapsStartEqualAndSfGapShrinksFaster) {
+  const auto series =
+      fairness_difference_series(12.5, 6.25, 100'000, 10'000, paper_params());
+  EXPECT_NEAR(series.front().sf_gap, series.front().rtt_gap, 1e-12);
+  for (std::size_t i = 1; i < series.size(); ++i) {
+    EXPECT_LE(series[i].sf_gap, series[i].rtt_gap + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fastcc::core

@@ -1,0 +1,45 @@
+// Full-scale smoke test: the paper's 320-host fat-tree carries real traffic
+// end to end (a brief low-load slice of the Figure 10 configuration), so the
+// `--full` bench path is known-good without paying hours of CPU in CI.
+#include <gtest/gtest.h>
+
+#include "experiments/datacenter.h"
+#include "workload/distributions.h"
+
+namespace fastcc::exp {
+namespace {
+
+TEST(FullScale, PaperTopologyCarriesHadoopTraffic) {
+  DatacenterConfig c;
+  c.variant = Variant::kHpccVaiSf;
+  c.topo = topo::full_scale_fat_tree();
+  c.components = {{&workload::hadoop_cdf(), 1.0}};
+  c.load = 0.1;
+  c.generate_duration = 60 * sim::kMicrosecond;
+  const DatacenterResult r = run_datacenter(c);
+  EXPECT_GT(r.flows.size(), 50u);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_EQ(r.drops, 0u);
+  for (const auto& f : r.flows) {
+    EXPECT_GE(f.slowdown(), 0.999);
+  }
+}
+
+TEST(FullScale, CrossPodFlowsUseTheSpineLayer) {
+  // Path metrics on the full topology: worst case 6 links / 5 switch hops,
+  // the value Swift's topology scaling relies on.
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTree tree = build_fat_tree(network, topo::full_scale_fat_tree());
+  int max_hops = 0;
+  // First host against a representative in every pod.
+  for (int pod = 0; pod < 5; ++pod) {
+    const net::PathInfo p = network.path(
+        tree.hosts[0]->id(), tree.hosts[pod * 64 + 63]->id());
+    max_hops = std::max(max_hops, p.hops);
+  }
+  EXPECT_EQ(max_hops, 6);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

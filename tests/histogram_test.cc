@@ -1,0 +1,90 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.h"
+#include "stats/percentile.h"
+
+namespace fastcc::stats {
+namespace {
+
+TEST(Histogram, CountsAndMoments) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.add(i);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+}
+
+TEST(Histogram, PercentileWithinBucketError) {
+  // Geometric buckets with growth 1.25 bound the relative error of any
+  // percentile by 25%.
+  Histogram h(1.0, 1.25, 128);
+  sim::Rng rng(5);
+  std::vector<double> exact;
+  for (int i = 0; i < 50'000; ++i) {
+    const double v = rng.uniform(1.0, 1000.0);
+    h.add(v);
+    exact.push_back(v);
+  }
+  for (const double p : {10.0, 50.0, 90.0, 99.0, 99.9}) {
+    const double e = percentile(exact, p);
+    const double a = h.percentile(p);
+    EXPECT_NEAR(a, e, 0.25 * e) << "p" << p;
+  }
+}
+
+TEST(Histogram, ExtremePercentilesHitMinMax) {
+  Histogram h;
+  h.add(3.0);
+  h.add(7.0);
+  h.add(500.0);
+  EXPECT_LE(h.percentile(0.0), 3.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 500.0);
+}
+
+TEST(Histogram, ZeroAndSubMinValuesLandInFirstBucket) {
+  Histogram h(10.0);
+  h.add(0.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count_below(10.0), 2u);
+}
+
+TEST(Histogram, CountBelowIsMonotone) {
+  Histogram h;
+  sim::Rng rng(6);
+  for (int i = 0; i < 1000; ++i) h.add(rng.uniform(0.0, 100.0));
+  std::uint64_t prev = 0;
+  for (double v = 1.0; v < 200.0; v *= 1.5) {
+    const std::uint64_t c = h.count_below(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_EQ(h.count_below(1e9), 1000u);
+}
+
+TEST(Histogram, LongTailDoesNotOverflowBuckets) {
+  Histogram h(1.0, 1.25, 32);  // deliberately few buckets
+  h.add(1e18);                 // far beyond the last boundary
+  h.add(2.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.percentile(100.0), 1e18);
+}
+
+TEST(Histogram, CsvOutputListsNonEmptyBuckets) {
+  Histogram h(1.0, 2.0, 16);
+  h.add(1.5);
+  h.add(1.5);
+  h.add(100.0);
+  std::ostringstream os;
+  h.write_csv(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("lower,upper,count"), std::string::npos);
+  EXPECT_NE(out.find(",2"), std::string::npos);  // the two 1.5s
+}
+
+}  // namespace
+}  // namespace fastcc::stats

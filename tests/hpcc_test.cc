@@ -1,0 +1,271 @@
+// HPCC unit tests with a synthetic single-link INT feed.
+#include "cc/hpcc.h"
+
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+#include "sim/random.h"
+
+namespace fastcc::cc {
+namespace {
+
+constexpr sim::Time kBaseRtt = 5000;       // 5 us
+constexpr sim::Rate kLine = sim::gbps(100);  // 12.5 B/ns
+const double kBdp = kLine * kBaseRtt;        // 62.5 KB
+
+/// Drives an Hpcc instance against a fabricated bottleneck link.  The driver
+/// keeps `inflight_pkts` packets outstanding, so one "RTT" is that many ACKs.
+class HpccDriver {
+ public:
+  explicit HpccDriver(const HpccParams& params, sim::Rng* rng = nullptr)
+      : hpcc_(params, rng) {
+    flow_.spec.size_bytes = 1'000'000'000;
+    flow_.line_rate = kLine;
+    flow_.base_rtt = kBaseRtt;
+    flow_.mtu = 1000;
+    flow_.path_hops = 2;
+    hpcc_.on_flow_start(flow_);
+  }
+
+  /// Feeds one ACK whose INT record reports the given queue length and link
+  /// utilization (fraction of line rate transmitted since the last ACK).
+  void ack(double qlen_bytes, double utilization, sim::Time dt = 500) {
+    now_ += dt;
+    tx_bytes_ += static_cast<std::uint64_t>(utilization * kLine * dt);
+    net::IntRecord rec;
+    rec.timestamp = now_;
+    rec.tx_bytes = tx_bytes_;
+    rec.qlen_bytes = static_cast<std::uint32_t>(qlen_bytes);
+    rec.bandwidth = kLine;
+    ints_[0] = rec;
+
+    AckContext ctx;
+    ctx.now = now_;
+    ctx.rtt = kBaseRtt;
+    acked_ += 1000;
+    ctx.ack_seq = acked_;
+    ctx.bytes_acked = 1000;
+    ctx.ints = std::span<const net::IntRecord>(ints_.data(), 1);
+    flow_.snd_nxt = acked_ + inflight_pkts_ * 1000;
+    hpcc_.on_ack(ctx, flow_);
+  }
+
+  /// Convenience: one full synthetic RTT of ACKs.
+  void rtt_of_acks(double qlen_bytes, double utilization) {
+    for (int i = 0; i < inflight_pkts_; ++i) ack(qlen_bytes, utilization);
+  }
+
+  net::FlowTx& flow() { return flow_; }
+  Hpcc& hpcc() { return hpcc_; }
+  void set_inflight_pkts(int n) { inflight_pkts_ = n; }
+
+ private:
+  Hpcc hpcc_;
+  net::FlowTx flow_;
+  std::array<net::IntRecord, 1> ints_{};
+  sim::Time now_ = 0;
+  std::uint64_t tx_bytes_ = 0;
+  std::uint64_t acked_ = 0;
+  int inflight_pkts_ = 10;
+};
+
+TEST(Hpcc, StartsAtLineRateBdpWindow) {
+  HpccDriver d{HpccParams{}};
+  EXPECT_DOUBLE_EQ(d.flow().window_bytes, kBdp);
+  EXPECT_DOUBLE_EQ(d.flow().rate, kLine);
+}
+
+TEST(Hpcc, FirstAckOnlySnapshotsTelemetry) {
+  HpccDriver d{HpccParams{}};
+  const double w0 = d.flow().window_bytes;
+  d.ack(/*qlen=*/200'000, /*utilization=*/1.0);
+  EXPECT_DOUBLE_EQ(d.flow().window_bytes, w0);
+}
+
+TEST(Hpcc, CongestionShrinksWindowMultiplicatively) {
+  HpccDriver d{HpccParams{}};
+  const double w0 = d.flow().window_bytes;
+  // Saturated link with a deep standing queue: U well above eta.
+  for (int i = 0; i < 30; ++i) d.ack(120'000, 1.0);
+  EXPECT_LT(d.flow().window_bytes, 0.6 * w0);
+}
+
+TEST(Hpcc, IdleLinkGrowsWindowAdditively) {
+  HpccParams p;
+  HpccDriver d{p};
+  d.ack(0, 0.3);  // snapshot
+  // Settle the EWMA around 0.3 utilization first.
+  for (int i = 0; i < 40; ++i) d.ack(0, 0.3);
+  const double w_ai = p.ai_rate * kBaseRtt;
+  const double wc_before = d.hpcc().reference_window();
+  d.rtt_of_acks(0, 0.3);  // exactly one more reference update
+  const double wc_after = d.hpcc().reference_window();
+  // One additive step per RTT while under-utilized (within EWMA wiggle).
+  EXPECT_NEAR(wc_after - wc_before, w_ai, 0.5 * w_ai);
+}
+
+TEST(Hpcc, UtilizationEstimateTracksFeed) {
+  HpccDriver d{HpccParams{}};
+  d.ack(0, 0.5);
+  for (int i = 0; i < 100; ++i) d.ack(0, 0.5);
+  EXPECT_NEAR(d.hpcc().utilization_estimate(), 0.5, 0.05);
+}
+
+TEST(Hpcc, MaxStageTriggersMimdRecalibration) {
+  HpccParams p;
+  p.max_stage = 5;
+  HpccDriver d{p};
+  d.ack(0, 0.4);
+  // Keep the link at 40%: pure AI raises Wc slowly, incStage climbs to
+  // max_stage, then the MIMD branch (Wc / (U/eta)) fires and grabs the
+  // spare bandwidth in one step.
+  double before = 0.0, jump = 0.0;
+  for (int r = 0; r < 12; ++r) {
+    before = d.hpcc().reference_window();
+    d.rtt_of_acks(0, 0.4);
+    jump = std::max(jump, d.hpcc().reference_window() - before);
+  }
+  // The recalibration multiplies by eta/U ~ 2.4x: far beyond any AI step.
+  EXPECT_GT(jump, 0.5 * kBdp);
+}
+
+TEST(Hpcc, WindowNeverExceedsLineRateBdp) {
+  HpccDriver d{HpccParams{}};
+  d.ack(0, 0.01);
+  for (int i = 0; i < 200; ++i) d.ack(0, 0.01);
+  EXPECT_LE(d.flow().window_bytes, kBdp * 1.0001);
+}
+
+TEST(Hpcc, WindowFloorRespected) {
+  HpccParams p;
+  HpccDriver d{p};
+  d.ack(500'000, 1.0);
+  for (int i = 0; i < 500; ++i) d.ack(500'000, 1.0);
+  EXPECT_GE(d.flow().window_bytes, p.min_window_mtus * 1000 - 1e-9);
+}
+
+TEST(Hpcc, RateIsWindowOverBaseRtt) {
+  HpccDriver d{HpccParams{}};
+  d.ack(0, 0.9);
+  for (int i = 0; i < 25; ++i) d.ack(100'000, 1.0);
+  EXPECT_DOUBLE_EQ(d.flow().rate, d.flow().window_bytes / kBaseRtt);
+}
+
+TEST(Hpcc, SamplingFrequencyGatesReferenceDecreases) {
+  HpccParams p;
+  p.sampling_freq = 7;
+  HpccDriver d{p};
+  d.ack(150'000, 1.0);  // snapshot
+  // Warm the EWMA into congestion territory.
+  for (int i = 0; i < 20; ++i) d.ack(150'000, 1.0);
+  // Now count reference changes over exactly 21 ACKs: with s=7 there must be
+  // exactly 3 decrease commits regardless of RTT boundaries.
+  int commits = 0;
+  double last_ref = d.hpcc().reference_window();
+  for (int i = 0; i < 21; ++i) {
+    d.ack(150'000, 1.0);
+    if (d.hpcc().reference_window() != last_ref) {
+      ++commits;
+      last_ref = d.hpcc().reference_window();
+    }
+  }
+  EXPECT_EQ(commits, 3);
+}
+
+TEST(Hpcc, DefaultModeCommitsOncePerRtt) {
+  HpccParams p;  // no SF
+  HpccDriver d{p};
+  d.set_inflight_pkts(10);
+  d.ack(150'000, 1.0);
+  for (int i = 0; i < 20; ++i) d.ack(150'000, 1.0);
+  int commits = 0;
+  double last_ref = d.hpcc().reference_window();
+  for (int i = 0; i < 30; ++i) {  // three 10-ack RTTs
+    d.ack(150'000, 1.0);
+    if (d.hpcc().reference_window() != last_ref) {
+      ++commits;
+      last_ref = d.hpcc().reference_window();
+    }
+  }
+  EXPECT_EQ(commits, 3);
+}
+
+TEST(Hpcc, VariableAiMintsTokensWhenQueueExceedsBdp) {
+  HpccParams p;
+  p.vai = hpcc_paper_vai(/*min_bdp_bytes=*/50'000);
+  HpccDriver d{p};
+  // A 250 KB queue mints 250 tokens per RTT while the one reference update
+  // per RTT spends at most AI_Cap = 100: the bank must accumulate.
+  d.ack(250'000, 1.0);
+  d.rtt_of_acks(250'000, 1.0);
+  d.rtt_of_acks(250'000, 1.0);
+  EXPECT_GT(d.hpcc().vai().bank(), 0.0);
+}
+
+TEST(Hpcc, VariableAiRaisesEffectiveAdditiveIncrease) {
+  HpccParams p;
+  p.vai = hpcc_paper_vai(50'000);
+  HpccDriver vai{p};
+  HpccDriver stock{HpccParams{}};
+  vai.ack(250'000, 1.0);
+  stock.ack(250'000, 1.0);
+  for (int i = 0; i < 60; ++i) {
+    vai.ack(250'000, 1.0);
+    stock.ack(250'000, 1.0);
+  }
+  // Identical MIMD pressure, but VAI's additive term is token-multiplied:
+  // the VAI flow holds a larger window under the same congestion.
+  EXPECT_GT(vai.flow().window_bytes, stock.flow().window_bytes);
+}
+
+TEST(Hpcc, VariableAiStaysQuietBelowBdp) {
+  HpccParams p;
+  p.vai = hpcc_paper_vai(50'000);
+  HpccDriver d{p};
+  d.ack(10'000, 0.9);
+  d.rtt_of_acks(10'000, 0.9);
+  d.rtt_of_acks(10'000, 0.9);
+  EXPECT_DOUBLE_EQ(d.hpcc().vai().bank(), 0.0);
+}
+
+TEST(Hpcc, ProbabilisticFeedbackIgnoresSomeDecreases) {
+  HpccParams p;
+  p.probabilistic_feedback = true;
+  sim::Rng rng(11);
+  HpccDriver prob{p, &rng};
+  HpccDriver det{HpccParams{}};
+  prob.ack(150'000, 1.0);
+  det.ack(150'000, 1.0);
+  // Identical congestion feed: as windows shrink, the probabilistic variant
+  // must commit strictly fewer reference decreases (small windows ignore
+  // most congestion signals — the DCQCN-style fairness property).
+  int prob_commits = 0, det_commits = 0;
+  double prob_ref = prob.hpcc().reference_window();
+  double det_ref = det.hpcc().reference_window();
+  for (int i = 0; i < 200; ++i) {
+    prob.ack(150'000, 1.0);
+    det.ack(150'000, 1.0);
+    if (prob.hpcc().reference_window() != prob_ref) {
+      ++prob_commits;
+      prob_ref = prob.hpcc().reference_window();
+    }
+    if (det.hpcc().reference_window() != det_ref) {
+      ++det_commits;
+      det_ref = det.hpcc().reference_window();
+    }
+  }
+  EXPECT_LT(prob_commits, det_commits);
+}
+
+TEST(Hpcc, PaperVaiParamsMatchSpec) {
+  const core::VariableAiParams vai = hpcc_paper_vai(50'000);
+  EXPECT_TRUE(vai.enabled);
+  EXPECT_DOUBLE_EQ(vai.token_thresh, 50'000);
+  EXPECT_DOUBLE_EQ(vai.ai_div, 1000);
+  EXPECT_DOUBLE_EQ(vai.bank_cap, 1000);
+  EXPECT_DOUBLE_EQ(vai.ai_cap, 100);
+  EXPECT_DOUBLE_EQ(vai.dampener_constant, 8);
+}
+
+}  // namespace
+}  // namespace fastcc::cc

@@ -1,0 +1,79 @@
+// Incast invariants over a (protocol x incast-degree) grid: completion,
+// losslessness, conservation, and the line-rate completion bound must hold
+// for every combination.
+#include <gtest/gtest.h>
+
+#include "experiments/incast.h"
+
+namespace fastcc::exp {
+namespace {
+
+struct GridCase {
+  Variant variant;
+  int senders;
+};
+
+class IncastGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(IncastGrid, InvariantsHold) {
+  const auto [variant, senders] = GetParam();
+  IncastConfig config;
+  config.variant = variant;
+  config.pattern.senders = senders;
+  config.pattern.flow_bytes = 150'000;
+  config.star.host_count = senders + 1;
+  const IncastResult r = run_incast(config);
+
+  ASSERT_EQ(r.flows.size(), static_cast<std::size_t>(senders));
+  EXPECT_EQ(r.drops, 0u);
+
+  // The shared 100 Gbps link bounds aggregate completion from below:
+  // senders x 150 KB of wire bytes cannot drain faster than line rate.
+  const double total_wire = senders * 150.0 * 1048.0;
+  EXPECT_GT(static_cast<double>(r.completion_time),
+            total_wire / sim::gbps(100));
+
+  // Start/finish sanity per flow.
+  for (const FlowTiming& f : r.flows) {
+    EXPECT_GE(f.start, 0);
+    EXPECT_GT(f.finish, f.start);
+  }
+
+  // Fairness index bounded; utilization bounded.
+  for (const auto& p : r.jain.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.0 + 1e-9);
+  }
+  for (const auto& p : r.utilization.points()) {
+    EXPECT_GE(p.value, 0.0);
+    EXPECT_LE(p.value, 1.01);
+  }
+}
+
+std::vector<GridCase> grid() {
+  std::vector<GridCase> cases;
+  for (const Variant v : {Variant::kHpcc, Variant::kHpccVaiSf,
+                          Variant::kSwift, Variant::kSwiftVaiSf}) {
+    for (const int senders : {2, 4, 16, 32}) {
+      cases.push_back({v, senders});
+    }
+  }
+  // Degree sweep matters less for the background protocols: one point each.
+  cases.push_back({Variant::kDcqcn, 8});
+  cases.push_back({Variant::kTimely, 8});
+  cases.push_back({Variant::kSwiftHai, 8});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, IncastGrid, ::testing::ValuesIn(grid()),
+                         [](const auto& param_info) {
+                           std::string name = variant_name(param_info.param.variant);
+                           for (char& c : name) {
+                             if (c == ' ') c = '_';
+                           }
+                           return name + "_x" +
+                                  std::to_string(param_info.param.senders);
+                         });
+
+}  // namespace
+}  // namespace fastcc::exp

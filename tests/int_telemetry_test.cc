@@ -1,0 +1,112 @@
+// End-to-end INT telemetry across the fat-tree: the record stack a sender's
+// congestion controller receives must describe the actual links traversed,
+// hop by hop, with monotone timestamps and cumulative byte counters.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "cc/cc.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "topo/fat_tree.h"
+
+namespace fastcc::net {
+namespace {
+
+/// Records every AckContext INT stack it sees; holds the window wide open.
+class IntProbeCc final : public cc::CongestionControl {
+ public:
+  void on_flow_start(FlowTx& flow) override {
+    flow.window_bytes = FlowTx::kUnlimitedWindow;
+    flow.rate = flow.line_rate;
+  }
+  void on_ack(const cc::AckContext& ack, FlowTx&) override {
+    stacks.push_back(std::vector<IntRecord>(ack.ints.begin(), ack.ints.end()));
+  }
+  const char* name() const override { return "int-probe"; }
+
+  std::vector<std::vector<IntRecord>> stacks;
+};
+
+TEST(IntTelemetry, CrossPodPathReportsSixHops) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::FatTree tree = build_fat_tree(network, topo::scaled_fat_tree());
+  Host* src = tree.hosts.front();
+  Host* dst = tree.hosts.back();
+  const PathInfo path = network.path(src->id(), dst->id());
+  ASSERT_EQ(path.hops, 6);
+
+  auto probe = std::make_unique<IntProbeCc>();
+  IntProbeCc* probe_raw = probe.get();
+  FlowTx flow;
+  flow.spec.id = 1;
+  flow.spec.src = src->id();
+  flow.spec.dst = dst->id();
+  flow.spec.size_bytes = 50'000;
+  flow.line_rate = src->port(0).bandwidth();
+  flow.base_rtt = path.base_rtt;
+  flow.path_hops = path.hops;
+  flow.cc = std::move(probe);
+  src->start_flow(std::move(flow));
+  simulator.run();
+
+  ASSERT_EQ(probe_raw->stacks.size(), 50u);  // one ACK per packet
+  for (const auto& stack : probe_raw->stacks) {
+    ASSERT_EQ(stack.size(), 6u);
+    // Hop order: host NIC (100G), ToR->Agg, Agg->Spine, Spine->Agg,
+    // Agg->ToR (all 400G), ToR->host (100G).
+    EXPECT_DOUBLE_EQ(stack[0].bandwidth, sim::gbps(100));
+    for (int h = 1; h <= 4; ++h) {
+      EXPECT_DOUBLE_EQ(stack[h].bandwidth, sim::gbps(400)) << "hop " << h;
+    }
+    EXPECT_DOUBLE_EQ(stack[5].bandwidth, sim::gbps(100));
+    // Egress timestamps advance along the path.
+    for (int h = 1; h < 6; ++h) {
+      EXPECT_GT(stack[h].timestamp, stack[h - 1].timestamp) << "hop " << h;
+    }
+  }
+
+  // Per-hop tx counters are cumulative and monotone across ACKs.
+  for (int h = 0; h < 6; ++h) {
+    for (std::size_t i = 1; i < probe_raw->stacks.size(); ++i) {
+      EXPECT_GT(probe_raw->stacks[i][h].tx_bytes,
+                probe_raw->stacks[i - 1][h].tx_bytes)
+          << "hop " << h << " ack " << i;
+    }
+  }
+  // The last hop carried exactly the flow's wire bytes.
+  EXPECT_EQ(probe_raw->stacks.back()[5].tx_bytes, 50u * 1048u);
+}
+
+TEST(IntTelemetry, SameTorPathReportsTwoHops) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::FatTree tree = build_fat_tree(network, topo::scaled_fat_tree());
+  Host* src = tree.hosts[0];
+  Host* dst = tree.hosts[1];
+
+  auto probe = std::make_unique<IntProbeCc>();
+  IntProbeCc* probe_raw = probe.get();
+  const PathInfo path = network.path(src->id(), dst->id());
+  FlowTx flow;
+  flow.spec.id = 1;
+  flow.spec.src = src->id();
+  flow.spec.dst = dst->id();
+  flow.spec.size_bytes = 3'000;
+  flow.line_rate = src->port(0).bandwidth();
+  flow.base_rtt = path.base_rtt;
+  flow.path_hops = path.hops;
+  flow.cc = std::move(probe);
+  src->start_flow(std::move(flow));
+  simulator.run();
+
+  ASSERT_EQ(probe_raw->stacks.size(), 3u);
+  for (const auto& stack : probe_raw->stacks) {
+    EXPECT_EQ(stack.size(), 2u);  // host NIC + ToR egress
+  }
+}
+
+}  // namespace
+}  // namespace fastcc::net

@@ -1,0 +1,93 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "topo/star.h"
+
+namespace fastcc::net {
+namespace {
+
+TEST(Network, StarConstruction) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::StarParams params;
+  params.host_count = 5;
+  topo::Star star = build_star(network, params);
+  EXPECT_EQ(star.hosts.size(), 5u);
+  EXPECT_EQ(network.hosts().size(), 5u);
+  EXPECT_EQ(network.switches().size(), 1u);
+  EXPECT_EQ(star.hub->port_count(), 5);
+}
+
+TEST(Network, StarPathMetricsAreExact) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::StarParams params;  // 17 hosts, 100 Gbps, 1 us links
+  topo::Star star = build_star(network, params);
+  const PathInfo p =
+      network.path(star.hosts[0]->id(), star.hosts[16]->id(), 1000);
+  EXPECT_EQ(p.hops, 2);
+  EXPECT_DOUBLE_EQ(p.bottleneck, sim::gbps(100));
+  // Per link: 2 us RTT propagation + 84 ns data + 6 ns ACK serialization.
+  const sim::Time per_link = 2000 + sim::serialization_time(1048, sim::gbps(100)) +
+                             sim::serialization_time(kAckBytes, sim::gbps(100));
+  EXPECT_EQ(p.base_rtt, 2 * per_link);
+  EXPECT_EQ(p.one_way_delay, 2 * (1000 + 84));
+}
+
+TEST(Network, PathToSelfIsEmpty) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::Star star = build_star(network, topo::StarParams{});
+  const PathInfo p = network.path(star.hosts[0]->id(), star.hosts[0]->id());
+  EXPECT_EQ(p.hops, 0);
+  EXPECT_EQ(p.base_rtt, 0);
+}
+
+TEST(Network, HubRoutesDirectlyToEveryHost) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::StarParams params;
+  params.host_count = 4;
+  topo::Star star = build_star(network, params);
+  for (Host* h : star.hosts) {
+    const auto& routes = star.hub->routes(h->id());
+    ASSERT_EQ(routes.size(), 1u);
+    EXPECT_EQ(star.hub->port(routes[0]).peer(), h);
+  }
+}
+
+TEST(Network, DropCounterAggregatesAllPorts) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::Star star = build_star(network, topo::StarParams{});
+  EXPECT_EQ(network.total_drops(), 0u);
+}
+
+TEST(Network, BufferLimitAppliesToSwitchPorts) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::Star star = build_star(network, topo::StarParams{});
+  network.set_buffer_limit_all(12345);
+  // No direct getter; rely on behaviour: enqueue more than the limit through
+  // the datapath is covered by pfc_test.  Here just confirm the call is safe
+  // on a built topology.
+  SUCCEED();
+}
+
+TEST(Network, RedAppliesToSwitchPorts) {
+  sim::Simulator simulator;
+  Network network(simulator);
+  topo::Star star = build_star(network, topo::StarParams{});
+  RedParams red;
+  red.enabled = true;
+  red.kmin_bytes = 0;
+  red.kmax_bytes = 1;
+  red.pmax = 1.0;
+  network.set_red_all(red);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace fastcc::net

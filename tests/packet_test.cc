@@ -1,0 +1,76 @@
+// Packet model edge cases: constructors, INT stack bounds, ACK echoing.
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace fastcc::net {
+namespace {
+
+TEST(Packet, MakeDataFillsWireFields) {
+  const Packet p = make_data(/*flow=*/7, /*src=*/1, /*dst=*/2, /*seq=*/5000,
+                             /*payload=*/800, /*now=*/123);
+  EXPECT_EQ(p.type, PacketType::kData);
+  EXPECT_EQ(p.flow, 7u);
+  EXPECT_EQ(p.seq, 5000u);
+  EXPECT_EQ(p.payload_bytes, 800u);
+  EXPECT_EQ(p.wire_bytes, 800u + kHeaderBytes);
+  EXPECT_EQ(p.host_ts, 123);
+  EXPECT_EQ(p.int_count, 0);
+  EXPECT_FALSE(p.is_control());
+}
+
+TEST(Packet, MakeAckReversesDirectionAndEchoes) {
+  Packet data = make_data(9, 1, 2, 10'000, 1000, 555);
+  data.ecn = true;
+  IntRecord rec;
+  rec.timestamp = 42;
+  rec.qlen_bytes = 7;
+  data.push_int(rec);
+
+  const Packet ack = make_ack(data, /*now=*/600);
+  EXPECT_EQ(ack.type, PacketType::kAck);
+  EXPECT_TRUE(ack.is_control());
+  EXPECT_EQ(ack.src, 2u);
+  EXPECT_EQ(ack.dst, 1u);
+  EXPECT_EQ(ack.seq, 11'000u);  // cumulative: seq + payload
+  EXPECT_EQ(ack.wire_bytes, kAckBytes);
+  EXPECT_EQ(ack.host_ts, 555);  // echoed sender timestamp
+  EXPECT_TRUE(ack.ecn);
+  ASSERT_EQ(ack.int_count, 1);
+  EXPECT_EQ(ack.ints[0].timestamp, 42);
+  EXPECT_EQ(ack.ints[0].qlen_bytes, 7u);
+}
+
+TEST(Packet, IntStackSaturatesAtMaxHops) {
+  Packet p = make_data(1, 0, 1, 0, 1000, 0);
+  for (int i = 0; i < kMaxHops + 5; ++i) {
+    IntRecord rec;
+    rec.qlen_bytes = static_cast<std::uint32_t>(i);
+    p.push_int(rec);
+  }
+  EXPECT_EQ(p.int_count, kMaxHops);
+  // The first kMaxHops records are kept; overflow is dropped silently.
+  EXPECT_EQ(p.ints[kMaxHops - 1].qlen_bytes,
+            static_cast<std::uint32_t>(kMaxHops - 1));
+}
+
+TEST(Packet, ControlTypes) {
+  Packet pfc;
+  pfc.type = PacketType::kPfcPause;
+  EXPECT_TRUE(pfc.is_control());
+  pfc.type = PacketType::kPfcResume;
+  EXPECT_TRUE(pfc.is_control());
+}
+
+TEST(Packet, DefaultsAreInert) {
+  Packet p;
+  EXPECT_EQ(p.src, kInvalidNode);
+  EXPECT_EQ(p.dst, kInvalidNode);
+  EXPECT_EQ(p.ingress_port, -1);
+  EXPECT_EQ(p.pfc_port, -1);
+  EXPECT_FALSE(p.ecn);
+  EXPECT_FALSE(p.cnp);
+}
+
+}  // namespace
+}  // namespace fastcc::net

@@ -1,0 +1,80 @@
+// Parallel sweep correctness: results must be identical to serial runs and
+// ordered like the inputs, for any worker count.
+#include "experiments/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <mutex>
+
+namespace fastcc::exp {
+namespace {
+
+std::vector<IncastConfig> sweep_configs() {
+  std::vector<IncastConfig> configs;
+  for (const Variant v : {Variant::kHpcc, Variant::kHpccVaiSf,
+                          Variant::kSwift, Variant::kSwiftVaiSf}) {
+    IncastConfig c;
+    c.variant = v;
+    c.pattern.senders = 6;
+    c.pattern.flow_bytes = 100'000;
+    c.star.host_count = 7;
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+TEST(ParallelRunner, MatchesSerialExecution) {
+  const auto configs = sweep_configs();
+  std::vector<IncastResult> serial;
+  for (const auto& c : configs) serial.push_back(run_incast(c));
+  const auto parallel = run_incast_parallel(configs, 4);
+
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(parallel[i].events_executed, serial[i].events_executed);
+    EXPECT_EQ(parallel[i].completion_time, serial[i].completion_time);
+    ASSERT_EQ(parallel[i].flows.size(), serial[i].flows.size());
+    for (std::size_t f = 0; f < serial[i].flows.size(); ++f) {
+      EXPECT_EQ(parallel[i].flows[f].finish, serial[i].flows[f].finish);
+    }
+  }
+}
+
+TEST(ParallelRunner, SingleThreadFallback) {
+  const auto configs = sweep_configs();
+  const auto one = run_incast_parallel(configs, 1);
+  const auto many = run_incast_parallel(configs, 8);
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].events_executed, many[i].events_executed);
+  }
+}
+
+TEST(ParallelRunner, EmptySweepIsFine) {
+  EXPECT_TRUE(run_incast_parallel({}, 4).empty());
+}
+
+TEST(ParallelForIndex, VisitsEveryIndexExactlyOnce) {
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  std::atomic<int> calls{0};
+  parallel_for_index(100, 8, [&](std::size_t i) {
+    ++calls;
+    std::lock_guard<std::mutex> lock(mu);
+    EXPECT_TRUE(seen.insert(i).second) << "index " << i << " visited twice";
+  });
+  EXPECT_EQ(calls.load(), 100);
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(ParallelForIndex, MoreWorkersThanWorkIsSafe) {
+  std::atomic<int> calls{0};
+  parallel_for_index(3, 64, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 3);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

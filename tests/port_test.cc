@@ -1,0 +1,188 @@
+#include "net/port.h"
+
+#include <gtest/gtest.h>
+
+#include "net/packet.h"
+#include "sim/random.h"
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace fastcc::net {
+namespace {
+
+using test::SinkNode;
+using test::test_packet;
+
+struct PortHarness {
+  sim::Simulator simulator;
+  SinkNode a{simulator, 0, "a"};
+  SinkNode b{simulator, 1, "b"};
+
+  PortHarness(sim::Rate bw = sim::gbps(100), sim::Time delay = 1000) {
+    a.add_port();
+    b.add_port();
+    a.port(0).connect(&b, 0, bw, delay);
+    b.port(0).connect(&a, 0, bw, delay);
+  }
+};
+
+TEST(Port, DeliversAfterSerializationPlusPropagation) {
+  PortHarness h;  // 100 Gbps, 1 us
+  h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  ASSERT_EQ(h.b.count(), 1u);
+  // 1048 wire bytes: 84 ns serialization + 1000 ns propagation.
+  EXPECT_EQ(h.b.arrivals()[0].at, 84 + 1000);
+}
+
+TEST(Port, BackToBackPacketsSpaceBySerializationTime) {
+  PortHarness h;
+  h.a.port(0).enqueue(test_packet(1000));
+  h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  ASSERT_EQ(h.b.count(), 2u);
+  EXPECT_EQ(h.b.arrivals()[1].at - h.b.arrivals()[0].at, 84);
+}
+
+TEST(Port, ControlPacketsPreemptQueuedData) {
+  PortHarness h;
+  // Three data packets; while the first serializes, an ACK arrives.  The ACK
+  // must overtake the two still-queued data packets but not the in-flight
+  // one.
+  for (int i = 0; i < 3; ++i) h.a.port(0).enqueue(test_packet(1000));
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.wire_bytes = kAckBytes;
+  ack.flow = 99;
+  h.simulator.after(10, [&] { h.a.port(0).enqueue(Packet(ack)); });
+  h.simulator.run();
+  ASSERT_EQ(h.b.count(), 4u);
+  EXPECT_EQ(h.b.arrivals()[0].packet.type, PacketType::kData);
+  EXPECT_EQ(h.b.arrivals()[1].packet.type, PacketType::kAck);
+}
+
+TEST(Port, IntRecordStampedOnDataOnly) {
+  PortHarness h;
+  h.a.port(0).enqueue(test_packet(1000));
+  Packet ack;
+  ack.type = PacketType::kAck;
+  ack.wire_bytes = kAckBytes;
+  h.a.port(0).enqueue(std::move(ack));
+  h.simulator.run();
+  ASSERT_EQ(h.b.count(), 2u);
+  EXPECT_EQ(h.b.arrivals()[0].packet.int_count, 1);
+  EXPECT_EQ(h.b.arrivals()[1].packet.int_count, 0);
+}
+
+TEST(Port, IntRecordContentsMatchLinkState) {
+  PortHarness h;
+  // The first enqueue starts transmitting synchronously, so packet 0 leaves
+  // an empty queue behind; packets 1 and 2 queue up behind it.
+  h.a.port(0).enqueue(test_packet(1000));
+  h.a.port(0).enqueue(test_packet(1000));
+  h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  const IntRecord& p0 = h.b.arrivals()[0].packet.ints[0];
+  const IntRecord& p1 = h.b.arrivals()[1].packet.ints[0];
+  const IntRecord& p2 = h.b.arrivals()[2].packet.ints[0];
+  EXPECT_DOUBLE_EQ(p0.bandwidth, sim::gbps(100));
+  EXPECT_EQ(p0.timestamp, 0);
+  EXPECT_EQ(p0.qlen_bytes, 0u);  // started before the others arrived
+  EXPECT_EQ(p0.tx_bytes, 1048u);
+  EXPECT_EQ(p1.timestamp, 84);
+  EXPECT_EQ(p1.qlen_bytes, 1048u);  // packet 2 waits behind it
+  EXPECT_EQ(p1.tx_bytes, 2096u);
+  EXPECT_EQ(p2.timestamp, 168);
+  EXPECT_EQ(p2.qlen_bytes, 0u);
+  EXPECT_EQ(p2.tx_bytes, 3144u);
+}
+
+TEST(Port, PauseFreezesAndResumeRestartsTransmitter) {
+  PortHarness h;
+  h.a.port(0).set_paused(true);
+  h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run(5000);
+  EXPECT_EQ(h.b.count(), 0u);
+  h.a.port(0).set_paused(false);
+  h.simulator.run();
+  ASSERT_EQ(h.b.count(), 1u);
+  // Released at t=5000: serialization + propagation later.
+  EXPECT_EQ(h.b.arrivals()[0].at, 5000 + 84 + 1000);
+}
+
+TEST(Port, BufferLimitDropsExcess) {
+  PortHarness h;
+  h.a.port(0).set_buffer_limit(3000);
+  for (int i = 0; i < 5; ++i) h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  EXPECT_GT(h.a.port(0).drops(), 0u);
+  EXPECT_LT(h.b.count(), 5u);
+  EXPECT_EQ(h.b.count() + h.a.port(0).drops(), 5u);
+}
+
+TEST(Port, TracksMaxQueueDepth) {
+  PortHarness h;
+  for (int i = 0; i < 4; ++i) h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  // The first packet dequeues synchronously, so the peak backlog is 3.
+  EXPECT_EQ(h.a.port(0).max_queue_bytes(), 3u * 1048u);
+  EXPECT_EQ(h.a.port(0).queue_bytes(), 0u);
+}
+
+TEST(Port, RedMarksAlwaysAboveKmax) {
+  PortHarness h;
+  sim::Rng rng(1);
+  RedParams red;
+  red.enabled = true;
+  red.kmin_bytes = 1000;
+  red.kmax_bytes = 3000;
+  red.pmax = 0.01;
+  h.a.port(0).set_red(red);
+  h.a.port(0).set_rng(&rng);
+  for (int i = 0; i < 8; ++i) h.a.port(0).enqueue(test_packet(1000));
+  h.simulator.run();
+  // Packets enqueued while backlog >= kmax must be marked.
+  int marked_late = 0;
+  for (std::size_t i = 4; i < h.b.count(); ++i) {
+    if (h.b.arrivals()[i].packet.ecn) ++marked_late;
+  }
+  EXPECT_EQ(marked_late, 4);
+  // The first packet saw an empty queue: never marked.
+  EXPECT_FALSE(h.b.arrivals()[0].packet.ecn);
+}
+
+TEST(Port, RedMarkingIsProbabilisticBetweenThresholds) {
+  // Statistical: between kmin and kmax the marking probability interpolates
+  // linearly up to pmax; with pmax = 1.0 and a queue held at the midpoint,
+  // roughly half of enqueued packets should be marked.
+  sim::Simulator simulator;
+  SinkNode a(simulator, 0, "a"), b(simulator, 1, "b");
+  a.add_port();
+  b.add_port();
+  // Slow link so the queue stays put while we enqueue.
+  a.port(0).connect(&b, 0, sim::gbps(0.001), 0);
+  b.port(0).connect(&a, 0, sim::gbps(0.001), 0);
+  sim::Rng rng(2);
+  RedParams red;
+  red.enabled = true;
+  red.kmin_bytes = 0;
+  red.kmax_bytes = 200 * 1048;
+  red.pmax = 1.0;
+  a.port(0).set_red(red);
+  a.port(0).set_rng(&rng);
+  int marked = 0;
+  const int n = 100;  // backlog ramps 0..~n packets: mean mark prob ~ 0.25
+  for (int i = 0; i < n; ++i) {
+    Packet p = test_packet(1000);
+    a.port(0).enqueue(std::move(p));
+  }
+  simulator.run();
+  for (const auto& arr : b.arrivals()) {
+    if (arr.packet.ecn) ++marked;
+  }
+  EXPECT_GT(marked, 5);
+  EXPECT_LT(marked, 60);
+}
+
+}  // namespace
+}  // namespace fastcc::net

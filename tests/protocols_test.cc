@@ -1,0 +1,80 @@
+// Variant catalogue / factory unit tests.
+#include "experiments/protocols.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "topo/star.h"
+
+namespace fastcc::exp {
+namespace {
+
+struct FactoryHarness : ::testing::Test {
+  sim::Simulator simulator;
+  net::Network network{simulator};
+  topo::Star star;
+
+  void SetUp() override {
+    topo::StarParams p;  // 17 hosts @ 100 Gbps
+    star = build_star(network, p);
+  }
+};
+
+TEST_F(FactoryHarness, MinBdpIsAboutFiftyKb) {
+  CcFactory f(network, Variant::kHpccVaiSf, true);
+  // The paper: "Token_Thresh to the minimum BDP of the network, which is
+  // about 50KB" and "4us is the delay incurred when queue depth is 50KB".
+  EXPECT_NEAR(f.min_bdp_bytes(), 50'000, 6'000);
+  EXPECT_NEAR(static_cast<double>(f.min_bdp_delay()), 4'000, 500);
+}
+
+TEST_F(FactoryHarness, VariantClassifiers) {
+  EXPECT_TRUE(variant_is_hpcc(Variant::kHpcc1G));
+  EXPECT_FALSE(variant_is_hpcc(Variant::kSwiftVaiSf));
+  EXPECT_TRUE(variant_is_swift(Variant::kSwiftProb));
+  EXPECT_FALSE(variant_is_swift(Variant::kDcqcn));
+  EXPECT_TRUE(variant_needs_red(Variant::kDcqcn));
+  EXPECT_TRUE(variant_needs_red(Variant::kDctcp));
+  EXPECT_FALSE(variant_needs_red(Variant::kHpcc));
+  // DCTCP marks with a step function at K; DCQCN uses probabilistic RED.
+  const net::RedParams dctcp_red = red_params_for(Variant::kDctcp);
+  EXPECT_EQ(dctcp_red.kmin_bytes, dctcp_red.kmax_bytes);
+  const net::RedParams dcqcn_red = red_params_for(Variant::kDcqcn);
+  EXPECT_LT(dcqcn_red.kmin_bytes, dcqcn_red.kmax_bytes);
+  EXPECT_FALSE(red_params_for(Variant::kHpcc).enabled);
+}
+
+TEST_F(FactoryHarness, EveryVariantConstructs) {
+  const net::PathInfo path =
+      network.path(star.hosts[0]->id(), star.hosts[16]->id());
+  for (const Variant v :
+       {Variant::kHpcc, Variant::kHpcc1G, Variant::kHpccProb,
+        Variant::kHpccVai, Variant::kHpccSf, Variant::kHpccVaiSf,
+        Variant::kSwift, Variant::kSwift1G, Variant::kSwiftProb,
+        Variant::kSwiftVai, Variant::kSwiftSf, Variant::kSwiftVaiSf,
+        Variant::kSwiftHai, Variant::kDcqcn, Variant::kTimely,
+        Variant::kDctcp}) {
+    CcFactory f(network, v, true);
+    auto cc = f.make(path);
+    ASSERT_NE(cc, nullptr) << variant_name(v);
+  }
+}
+
+TEST_F(FactoryHarness, NamesAreUniqueAndStable) {
+  EXPECT_STREQ(variant_name(Variant::kHpccVaiSf), "HPCC VAI SF");
+  EXPECT_STREQ(variant_name(Variant::kSwiftProb), "Swift Probabilistic");
+  EXPECT_STREQ(variant_name(Variant::kDcqcn), "DCQCN");
+  EXPECT_STREQ(variant_name(Variant::kTimely), "TIMELY");
+}
+
+TEST_F(FactoryHarness, SamplingFreqOnlyOnSfVariants) {
+  EXPECT_EQ(CcFactory(network, Variant::kHpccVaiSf, true).sampling_freq(),
+            CcFactory::kPaperSamplingFreq);
+  EXPECT_EQ(CcFactory(network, Variant::kSwiftSf, true).sampling_freq(),
+            CcFactory::kPaperSamplingFreq);
+  EXPECT_EQ(CcFactory(network, Variant::kHpcc, true).sampling_freq(), 0);
+  EXPECT_EQ(CcFactory(network, Variant::kSwiftVai, true).sampling_freq(), 0);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

@@ -1,0 +1,81 @@
+#include "sim/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fastcc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.uniform_int(0, 1'000'000), b.uniform_int(0, 1'000'000));
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform_int(0, 1'000'000) == b.uniform_int(0, 1'000'000)) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformIntStaysInClosedRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformDoubleInHalfOpenUnitInterval) {
+  Rng rng(4);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng rng(5);
+  double sum = 0.0;
+  const int n = 50'000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(250.0);
+  EXPECT_NEAR(sum / n, 250.0, 5.0);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(6);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ForkProducesIndependentDeterministicStreams) {
+  Rng parent1(9), parent2(9);
+  Rng child1 = parent1.fork();
+  Rng child2 = parent2.fork();
+  // Identical lineage -> identical child streams.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(child1.uniform_int(0, 1 << 30), child2.uniform_int(0, 1 << 30));
+  }
+  // Child differs from a fresh parent stream.
+  Rng parent3(9);
+  Rng child3 = parent3.fork();
+  int equal = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (child3.uniform_int(0, 1 << 30) == parent3.uniform_int(0, 1 << 30)) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+}  // namespace
+}  // namespace fastcc::sim

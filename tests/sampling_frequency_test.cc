@@ -1,0 +1,51 @@
+#include "core/sampling_frequency.h"
+
+#include <gtest/gtest.h>
+
+namespace fastcc::core {
+namespace {
+
+TEST(SamplingFrequency, DisabledNeverFires) {
+  SamplingFrequency sf(0);
+  EXPECT_FALSE(sf.enabled());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(sf.tick());
+}
+
+TEST(SamplingFrequency, FiresEverySAcks) {
+  SamplingFrequency sf(30);
+  EXPECT_TRUE(sf.enabled());
+  int fires = 0;
+  for (int i = 1; i <= 90; ++i) {
+    if (sf.tick()) {
+      ++fires;
+      EXPECT_EQ(i % 30, 0) << "fired off-schedule at ack " << i;
+    }
+  }
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(SamplingFrequency, ResetRestartsTheCount) {
+  SamplingFrequency sf(5);
+  sf.tick();
+  sf.tick();
+  sf.reset();
+  for (int i = 0; i < 4; ++i) EXPECT_FALSE(sf.tick());
+  EXPECT_TRUE(sf.tick());
+}
+
+TEST(SamplingFrequency, PeriodOfOneFiresEveryAck) {
+  SamplingFrequency sf(1);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(sf.tick());
+}
+
+TEST(SamplingFrequency, CounterExposedForIntrospection) {
+  SamplingFrequency sf(10);
+  sf.tick();
+  sf.tick();
+  sf.tick();
+  EXPECT_EQ(sf.acks_since_commit(), 3);
+  EXPECT_EQ(sf.period(), 10);
+}
+
+}  // namespace
+}  // namespace fastcc::core

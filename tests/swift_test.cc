@@ -1,0 +1,257 @@
+// Swift unit tests with synthetic RTT feeds.
+#include "cc/swift.h"
+
+#include <gtest/gtest.h>
+
+#include "net/flow.h"
+#include "sim/random.h"
+
+namespace fastcc::cc {
+namespace {
+
+constexpr sim::Time kBaseRtt = 5000;
+constexpr sim::Rate kLine = sim::gbps(100);
+const double kBdpPkts = kLine * kBaseRtt / 1000.0;  // 62.5 packets
+
+class SwiftDriver {
+ public:
+  explicit SwiftDriver(const SwiftParams& params, sim::Rng* rng = nullptr)
+      : swift_(params, rng) {
+    flow_.spec.size_bytes = 1'000'000'000;
+    flow_.line_rate = kLine;
+    flow_.base_rtt = kBaseRtt;
+    flow_.mtu = 1000;
+    flow_.path_hops = 2;  // star: host-switch-host -> 1 switch hop
+    swift_.on_flow_start(flow_);
+  }
+
+  void ack(sim::Time rtt, sim::Time dt = 500) {
+    now_ += dt;
+    AckContext ctx;
+    ctx.now = now_;
+    ctx.rtt = rtt;
+    acked_ += 1000;
+    ctx.ack_seq = acked_;
+    ctx.bytes_acked = 1000;
+    flow_.snd_nxt = acked_ + 10'000;  // one synthetic RTT = 10 ACKs
+    swift_.on_ack(ctx, flow_);
+  }
+
+  net::FlowTx& flow() { return flow_; }
+  Swift& swift() { return swift_; }
+
+ private:
+  Swift swift_;
+  net::FlowTx flow_;
+  sim::Time now_ = 0;
+  std::uint64_t acked_ = 0;
+};
+
+TEST(Swift, StartsAtLineRateBdp) {
+  SwiftDriver d{SwiftParams{}};
+  EXPECT_NEAR(d.swift().cwnd(), kBdpPkts, 1e-9);
+  EXPECT_DOUBLE_EQ(d.flow().rate, kLine);
+}
+
+TEST(Swift, TargetDelayUsesTopologyScaling) {
+  SwiftParams p;
+  p.use_fbs = false;
+  Swift s(p);
+  // base 5 us + 2 us per switch hop.
+  EXPECT_EQ(s.target_delay(10.0, 1), 7000);
+  EXPECT_EQ(s.target_delay(10.0, 5), 15000);
+}
+
+TEST(Swift, ScalingHopsCountsSwitches) {
+  EXPECT_EQ(Swift::scaling_hops(2), 1);  // star
+  EXPECT_EQ(Swift::scaling_hops(6), 5);  // fat-tree cross-pod
+  EXPECT_EQ(Swift::scaling_hops(0), 0);
+}
+
+TEST(Swift, FbsRaisesTargetForSmallWindows) {
+  SwiftParams p;  // FBS on
+  Swift s(p);
+  const sim::Time big = s.target_delay(p.fs_max_cwnd, 1);
+  const sim::Time small = s.target_delay(p.fs_min_cwnd, 1);
+  const sim::Time tiny = s.target_delay(p.fs_min_cwnd / 10, 1);
+  EXPECT_GT(small, big);
+  EXPECT_EQ(small - big, p.fs_range);  // full range at fs_min_cwnd
+  EXPECT_EQ(tiny, small);              // clamped beyond fs_min
+}
+
+TEST(Swift, FbsIsMonotoneDecreasingInCwnd) {
+  SwiftParams p;
+  Swift s(p);
+  sim::Time prev = s.target_delay(0.05, 1);
+  for (double c = 0.1; c <= 120.0; c *= 1.5) {
+    const sim::Time t = s.target_delay(c, 1);
+    EXPECT_LE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Swift, BelowTargetGrowsAdditively) {
+  SwiftParams p;
+  p.use_fbs = false;
+  SwiftDriver d{p};
+  const double c0 = d.swift().cwnd();
+  for (int i = 0; i < 10; ++i) d.ack(kBaseRtt);  // well below 7 us target
+  EXPECT_GT(d.swift().cwnd(), c0 - 1e-9);
+  // ~one ai_pkts_per_rtt over the 10-ack RTT: tiny with 50 Mbps AI.
+  const double ai_pkts = p.ai_rate * kBaseRtt / 1000.0;
+  EXPECT_NEAR(d.swift().cwnd() - c0, ai_pkts, ai_pkts);
+}
+
+TEST(Swift, AboveTargetDecreasesAtMostOncePerRtt) {
+  SwiftParams p;
+  p.use_fbs = false;
+  SwiftDriver d{p};
+  // Two closely spaced congested ACKs: only the first may commit (the gate
+  // requires a full measured RTT between decreases).
+  d.ack(20'000, /*dt=*/100);
+  const double after_first = d.swift().cwnd();
+  d.ack(20'000, /*dt=*/100);
+  EXPECT_DOUBLE_EQ(d.swift().cwnd(), after_first);
+  // After a full RTT the next decrease commits.
+  d.ack(20'000, /*dt=*/25'000);
+  EXPECT_LT(d.swift().cwnd(), after_first);
+}
+
+TEST(Swift, MdFactorScalesWithSeverityAndFloors) {
+  SwiftParams p;
+  p.use_fbs = false;
+  SwiftDriver mild{p}, severe{p};
+  mild.ack(7'500, 10'000);    // 0.5 us over the 7 us target
+  severe.ack(700'000, 10'000);  // catastily over target: floor kicks in
+  const double c = kBdpPkts;
+  EXPECT_GT(mild.swift().cwnd(), 0.9 * c);
+  EXPECT_NEAR(severe.swift().cwnd(), p.max_mdf * c, 0.01 * c);
+}
+
+TEST(Swift, CwndClampedToMaxAndMin) {
+  SwiftParams p;
+  p.use_fbs = false;
+  SwiftDriver d{p};
+  for (int i = 0; i < 50; ++i) d.ack(kBaseRtt);
+  EXPECT_LE(d.swift().cwnd(), kBdpPkts + 1.0);
+  for (int i = 0; i < 2000; ++i) d.ack(1'000'000, 30'000);
+  EXPECT_GE(d.swift().cwnd(), p.min_cwnd - 1e-12);
+}
+
+TEST(Swift, SubPacketWindowSwitchesToPacing) {
+  SwiftParams p;
+  p.use_fbs = false;
+  SwiftDriver d{p};
+  for (int i = 0; i < 2000; ++i) d.ack(1'000'000, 30'000);
+  ASSERT_LT(d.swift().cwnd(), 1.0);
+  EXPECT_LT(d.flow().rate, kLine);  // paced below line rate
+  EXPECT_GT(d.flow().rate, 0.0);
+}
+
+TEST(Swift, SamplingFrequencyCommitsDecreasesEverySAcks) {
+  SwiftParams p;
+  p.use_fbs = false;
+  p.sampling_freq = 5;
+  p.always_ai = true;
+  SwiftDriver d{p};
+  int commits = 0;
+  double last_ref = d.swift().reference_cwnd();
+  for (int i = 1; i <= 20; ++i) {
+    d.ack(20'000, /*dt=*/100);  // persistent congestion, sub-RTT spacing
+    const double ref = d.swift().reference_cwnd();
+    if (ref < last_ref) {
+      ++commits;
+      EXPECT_EQ(i % 5, 0) << "decrease committed off the s-ACK schedule";
+    }
+    last_ref = ref;
+  }
+  EXPECT_EQ(commits, 4);
+}
+
+TEST(Swift, AlwaysAiAddsTermEvenUnderCongestion) {
+  // Compare within SF mode (commit every ACK): with always_ai the additive
+  // term persists under congestion; without it the decrease branch is pure
+  // multiplicative, so it must end strictly lower.
+  SwiftParams p;
+  p.use_fbs = false;
+  p.sampling_freq = 1;
+  p.always_ai = true;
+  SwiftParams bare = p;
+  bare.always_ai = false;
+  SwiftDriver with{p}, without{bare};
+  for (int i = 0; i < 40; ++i) {
+    with.ack(8'000, 600);
+    without.ack(8'000, 600);
+  }
+  EXPECT_GT(with.swift().cwnd(), without.swift().cwnd());
+}
+
+TEST(Swift, VaiBanksTokensFromQueueingDelay) {
+  SwiftParams p;
+  p.use_fbs = false;
+  p.always_ai = true;
+  p.vai = swift_paper_vai(/*target=*/7000, /*base_rtt=*/kBaseRtt,
+                          /*min_bdp_delay=*/4000);
+  SwiftDriver d{p};
+  // Queueing delay 15 us >> threshold (7 + 4 - 5 = 6 us).
+  for (int i = 0; i < 25; ++i) d.ack(kBaseRtt + 15'000, 600);
+  EXPECT_GT(d.swift().vai().bank(), 0.0);
+}
+
+TEST(Swift, HyperAiEngagesAfterQuietRtts) {
+  SwiftParams p;
+  p.use_fbs = false;
+  p.use_hyper_ai = true;
+  p.hai_threshold = 3;
+  p.hai_multiplier = 4.0;
+  SwiftDriver d{p};
+  EXPECT_FALSE(d.swift().in_hyper_ai());
+  // Each synthetic RTT is 10 ACKs below target: streak accumulates.
+  for (int i = 0; i < 40; ++i) d.ack(kBaseRtt);
+  EXPECT_TRUE(d.swift().in_hyper_ai());
+}
+
+TEST(Swift, HyperAiGrowsFasterThanStock) {
+  SwiftParams hai;
+  hai.use_fbs = false;
+  hai.use_hyper_ai = true;
+  hai.hai_threshold = 2;
+  SwiftParams stock = hai;
+  stock.use_hyper_ai = false;
+  SwiftDriver fast{hai}, slow{stock};
+  // Sink both windows with identical congestion, then recover quietly.
+  fast.ack(50'000, 30'000);
+  slow.ack(50'000, 30'000);
+  for (int i = 0; i < 3; ++i) {
+    fast.ack(40'000, 30'000);
+    slow.ack(40'000, 30'000);
+  }
+  ASSERT_NEAR(fast.swift().cwnd(), slow.swift().cwnd(), 1e-9);
+  for (int i = 0; i < 60; ++i) {
+    fast.ack(kBaseRtt);
+    slow.ack(kBaseRtt);
+  }
+  EXPECT_GT(fast.swift().cwnd(), slow.swift().cwnd());
+}
+
+TEST(Swift, CongestionResetsHyperAiStreak) {
+  SwiftParams p;
+  p.use_fbs = false;
+  p.use_hyper_ai = true;
+  p.hai_threshold = 3;
+  SwiftDriver d{p};
+  for (int i = 0; i < 40; ++i) d.ack(kBaseRtt);
+  ASSERT_TRUE(d.swift().in_hyper_ai());
+  // One congested RTT (all 10 acks above target) ends the streak.
+  for (int i = 0; i < 12; ++i) d.ack(20'000, 600);
+  EXPECT_FALSE(d.swift().in_hyper_ai());
+}
+
+TEST(Swift, PaperVaiThresholdConvertsToQueueingDelay) {
+  const core::VariableAiParams vai = swift_paper_vai(9000, 4180, 4000);
+  EXPECT_DOUBLE_EQ(vai.token_thresh, 9000 + 4000 - 4180);
+  EXPECT_DOUBLE_EQ(vai.ai_div, 30.0);
+}
+
+}  // namespace
+}  // namespace fastcc::cc

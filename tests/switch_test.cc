@@ -1,0 +1,96 @@
+#include "net/switch_node.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sim/simulator.h"
+#include "test_util.h"
+
+namespace fastcc::net {
+namespace {
+
+using test::SinkNode;
+using test::test_packet;
+
+TEST(SwitchNode, SinglePortRouteAlwaysSelected) {
+  sim::Simulator simulator;
+  SwitchNode sw(simulator, 0, "sw");
+  sw.add_port();
+  sw.set_routes(7, {0});
+  for (FlowId f = 0; f < 16; ++f) {
+    EXPECT_EQ(sw.select_port(7, f, 1), 0);
+  }
+}
+
+TEST(SwitchNode, EcmpIsDeterministicPerFlow) {
+  sim::Simulator simulator;
+  SwitchNode sw(simulator, 0, "sw");
+  for (int i = 0; i < 4; ++i) sw.add_port();
+  sw.set_routes(9, {0, 1, 2, 3});
+  for (FlowId f = 0; f < 32; ++f) {
+    const int first = sw.select_port(9, f, 5);
+    for (int repeat = 0; repeat < 5; ++repeat) {
+      EXPECT_EQ(sw.select_port(9, f, 5), first);
+    }
+  }
+}
+
+TEST(SwitchNode, EcmpSpreadsFlowsAcrossCandidates) {
+  sim::Simulator simulator;
+  SwitchNode sw(simulator, 3, "sw");
+  for (int i = 0; i < 4; ++i) sw.add_port();
+  sw.set_routes(9, {0, 1, 2, 3});
+  std::set<int> used;
+  for (FlowId f = 0; f < 64; ++f) used.insert(sw.select_port(9, f, 5));
+  EXPECT_EQ(used.size(), 4u);  // 64 flows should touch every port
+}
+
+TEST(SwitchNode, DifferentSwitchesMakeDecorrelatedPicks) {
+  sim::Simulator simulator;
+  SwitchNode sw_a(simulator, 1, "a"), sw_b(simulator, 2, "b");
+  for (int i = 0; i < 4; ++i) {
+    sw_a.add_port();
+    sw_b.add_port();
+  }
+  sw_a.set_routes(9, {0, 1, 2, 3});
+  sw_b.set_routes(9, {0, 1, 2, 3});
+  int same = 0;
+  const int flows = 256;
+  for (FlowId f = 0; f < flows; ++f) {
+    if (sw_a.select_port(9, f, 5) == sw_b.select_port(9, f, 5)) ++same;
+  }
+  // Independent uniform picks agree ~25% of the time; correlated picks would
+  // agree near 100%.
+  EXPECT_LT(same, flows / 2);
+}
+
+TEST(SwitchNode, ForwardsViaSelectedPort) {
+  sim::Simulator simulator;
+  SwitchNode sw(simulator, 0, "sw");
+  SinkNode h1(simulator, 1, "h1"), h2(simulator, 2, "h2");
+  const int p1 = sw.add_port();
+  const int p2 = sw.add_port();
+  h1.add_port();
+  h2.add_port();
+  sw.port(p1).connect(&h1, 0, sim::gbps(100), 10);
+  h1.port(0).connect(&sw, p1, sim::gbps(100), 10);
+  sw.port(p2).connect(&h2, 0, sim::gbps(100), 10);
+  h2.port(0).connect(&sw, p2, sim::gbps(100), 10);
+  sw.set_routes(1, {p1});
+  sw.set_routes(2, {p2});
+
+  h1.port(0).enqueue(test_packet(1000, /*flow=*/1, /*src=*/1, /*dst=*/2));
+  simulator.run();
+  EXPECT_EQ(h2.count(), 1u);
+  EXPECT_EQ(h1.count(), 0u);
+}
+
+TEST(SwitchNode, RoutesForUnknownDestinationAreEmpty) {
+  sim::Simulator simulator;
+  SwitchNode sw(simulator, 0, "sw");
+  EXPECT_TRUE(sw.routes(42).empty());
+}
+
+}  // namespace
+}  // namespace fastcc::net

@@ -1,0 +1,66 @@
+// Shared helpers for fastcc tests.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "cc/cc.h"
+#include "net/flow.h"
+#include "net/node.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace fastcc::test {
+
+/// A node that records everything delivered to it (timestamps included) and
+/// never forwards — a measurement endpoint for port/link tests.
+class SinkNode : public net::Node {
+ public:
+  struct Arrival {
+    net::Packet packet;
+    sim::Time at;
+    int in_port;
+  };
+
+  SinkNode(sim::Simulator& simulator, net::NodeId id, std::string name)
+      : Node(simulator, id, std::move(name)) {}
+
+  const std::vector<Arrival>& arrivals() const { return arrivals_; }
+  std::size_t count() const { return arrivals_.size(); }
+
+ protected:
+  void receive(net::Packet&& p, int in_port) override {
+    consume(p);
+    arrivals_.push_back(Arrival{std::move(p), sim_.now(), in_port});
+  }
+
+ private:
+  std::vector<Arrival> arrivals_;
+};
+
+/// Congestion control stub: applies a fixed window and rate at flow start
+/// and never reacts to feedback.  Lets host/NIC tests isolate the datapath.
+class FixedCc final : public cc::CongestionControl {
+ public:
+  FixedCc(double window_bytes, sim::Rate rate)
+      : window_bytes_(window_bytes), rate_(rate) {}
+
+  void on_flow_start(net::FlowTx& flow) override {
+    flow.window_bytes = window_bytes_;
+    flow.rate = rate_;
+  }
+  void on_ack(const cc::AckContext&, net::FlowTx&) override {}
+  const char* name() const override { return "fixed"; }
+
+ private:
+  double window_bytes_;
+  sim::Rate rate_;
+};
+
+/// Builds a data packet wired for direct Port::enqueue in unit tests.
+inline net::Packet test_packet(std::uint32_t payload, net::FlowId flow = 1,
+                               net::NodeId src = 0, net::NodeId dst = 1) {
+  return net::make_data(flow, src, dst, /*seq=*/0, payload, /*now=*/0);
+}
+
+}  // namespace fastcc::test

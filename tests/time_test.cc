@@ -1,0 +1,43 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+namespace fastcc::sim {
+namespace {
+
+TEST(Time, UnitConstantsCompose) {
+  EXPECT_EQ(kMicrosecond, 1000);
+  EXPECT_EQ(kMillisecond, 1000 * 1000);
+  EXPECT_EQ(kSecond, 1000 * 1000 * 1000);
+}
+
+TEST(Time, GbpsConversionRoundTrips) {
+  EXPECT_DOUBLE_EQ(gbps(100.0), 12.5);  // 100 Gbps == 12.5 B/ns
+  EXPECT_DOUBLE_EQ(gbps(400.0), 50.0);
+  EXPECT_DOUBLE_EQ(to_gbps(gbps(37.5)), 37.5);
+}
+
+TEST(Time, SerializationIsExactForPaperRates) {
+  // 1 KB payload + 48 B header at 100 Gbps: 1048 / 12.5 = 83.84 -> 84 ns.
+  EXPECT_EQ(serialization_time(1048, gbps(100)), 84);
+  // Exact division stays exact: 1000 B at 100 Gbps = 80 ns.
+  EXPECT_EQ(serialization_time(1000, gbps(100)), 80);
+  // 400 Gbps fabric: 1000 B = 20 ns.
+  EXPECT_EQ(serialization_time(1000, gbps(400)), 20);
+}
+
+TEST(Time, SerializationRoundsUpNeverDown) {
+  // A transmitter must never finish early.
+  EXPECT_EQ(serialization_time(1, gbps(100)), 1);    // 0.08 -> 1
+  EXPECT_EQ(serialization_time(64, gbps(400)), 2);   // 1.28 -> 2
+  EXPECT_EQ(serialization_time(0, gbps(100)), 0);
+}
+
+TEST(Time, SerializationScalesLinearly) {
+  const Time one = serialization_time(1000, gbps(100));
+  const Time ten = serialization_time(10000, gbps(100));
+  EXPECT_EQ(ten, 10 * one);
+}
+
+}  // namespace
+}  // namespace fastcc::sim

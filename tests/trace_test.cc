@@ -1,0 +1,75 @@
+// Flow-trace round-trip and malformed-input rejection.
+#include "workload/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/random.h"
+#include "workload/distributions.h"
+#include "workload/poisson.h"
+
+namespace fastcc::workload {
+namespace {
+
+std::vector<net::FlowSpec> sample_flows() {
+  PoissonTrafficParams params;
+  params.components = {{&hadoop_cdf(), 1.0}};
+  params.load = 0.5;
+  params.host_bandwidth = sim::gbps(100);
+  params.host_count = 8;
+  params.duration = 100 * sim::kMicrosecond;
+  sim::Rng rng(7);
+  return generate_poisson_traffic(params, rng);
+}
+
+TEST(FlowTrace, RoundTripsExactly) {
+  const auto flows = sample_flows();
+  ASSERT_GT(flows.size(), 10u);
+  std::stringstream buffer;
+  EXPECT_EQ(write_flow_trace(buffer, flows), flows.size());
+  const auto loaded = read_flow_trace(buffer);
+  ASSERT_EQ(loaded.size(), flows.size());
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, flows[i].id);
+    EXPECT_EQ(loaded[i].src, flows[i].src);
+    EXPECT_EQ(loaded[i].dst, flows[i].dst);
+    EXPECT_EQ(loaded[i].size_bytes, flows[i].size_bytes);
+    EXPECT_EQ(loaded[i].start_time, flows[i].start_time);
+  }
+}
+
+TEST(FlowTrace, EmptyTraceRoundTrips) {
+  std::stringstream buffer;
+  write_flow_trace(buffer, {});
+  EXPECT_TRUE(read_flow_trace(buffer).empty());
+}
+
+TEST(FlowTrace, RejectsMissingHeader) {
+  std::stringstream buffer("1,0,1,1000,0\n");
+  EXPECT_THROW(read_flow_trace(buffer), std::runtime_error);
+}
+
+TEST(FlowTrace, RejectsWrongColumnCount) {
+  std::stringstream buffer(
+      "flow_id,src_host,dst_host,size_bytes,start_time_ns\n1,0,1,1000\n");
+  EXPECT_THROW(read_flow_trace(buffer), std::runtime_error);
+}
+
+TEST(FlowTrace, RejectsNonNumericField) {
+  std::stringstream buffer(
+      "flow_id,src_host,dst_host,size_bytes,start_time_ns\n1,0,x,1000,0\n");
+  EXPECT_THROW(read_flow_trace(buffer), std::runtime_error);
+}
+
+TEST(FlowTrace, SkipsBlankLines) {
+  std::stringstream buffer(
+      "flow_id,src_host,dst_host,size_bytes,start_time_ns\n"
+      "1,0,1,1000,5\n\n2,1,0,2000,9\n");
+  const auto flows = read_flow_trace(buffer);
+  ASSERT_EQ(flows.size(), 2u);
+  EXPECT_EQ(flows[1].size_bytes, 2000u);
+}
+
+}  // namespace
+}  // namespace fastcc::workload

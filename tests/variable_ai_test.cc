@@ -1,0 +1,168 @@
+// Variable AI (Algorithms 1 and 2) step-by-step semantics.
+#include "core/variable_ai.h"
+
+#include <gtest/gtest.h>
+
+namespace fastcc::core {
+namespace {
+
+VariableAiParams paper_params() {
+  VariableAiParams p;
+  p.enabled = true;
+  p.token_thresh = 50'000;  // ~min BDP in bytes
+  p.ai_div = 1000;          // one token per KB
+  p.bank_cap = 1000;
+  p.ai_cap = 100;
+  p.dampener_constant = 8;
+  return p;
+}
+
+TEST(VariableAi, DisabledIsTransparent) {
+  VariableAiParams p;  // enabled = false
+  VariableAi vai(p);
+  vai.observe(1e9);
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.ai_multiplier(true), 1.0);
+  EXPECT_DOUBLE_EQ(vai.bank(), 0.0);
+}
+
+TEST(VariableAi, NoTokensBelowThreshold) {
+  VariableAi vai(paper_params());
+  vai.observe(49'999);
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.bank(), 0.0);
+}
+
+TEST(VariableAi, MintsMeasuredOverDivTokens) {
+  VariableAi vai(paper_params());
+  vai.observe(100'000);  // 100 KB queue -> 100 tokens
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.bank(), 100.0);
+}
+
+TEST(VariableAi, MaxSampleInRttIsUsed) {
+  VariableAi vai(paper_params());
+  vai.observe(30'000);
+  vai.observe(80'000);
+  vai.observe(10'000);
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.bank(), 80.0);
+}
+
+TEST(VariableAi, BankSaturatesAtCap) {
+  VariableAi vai(paper_params());
+  for (int i = 0; i < 20; ++i) {
+    vai.observe(100'000);
+    vai.on_rtt_boundary(false);
+  }
+  EXPECT_DOUBLE_EQ(vai.bank(), 1000.0);
+}
+
+TEST(VariableAi, CongestionSampleResetsEachRtt) {
+  VariableAi vai(paper_params());
+  vai.observe(100'000);
+  vai.on_rtt_boundary(false);
+  const double after_first = vai.bank();
+  // Next RTT with no congestion observations mints nothing.
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.bank(), after_first);
+}
+
+TEST(VariableAi, DampenerGrowsWithCongestionSeverity) {
+  VariableAi vai(paper_params());
+  vai.observe(200'000);  // 4x the threshold
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.dampener(), 4.0);
+  vai.observe(100'000);
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.dampener(), 6.0);
+}
+
+TEST(VariableAi, DampenerHoldsWhileBankNonEmpty) {
+  VariableAi vai(paper_params());
+  vai.observe(100'000);
+  vai.on_rtt_boundary(false);
+  const double d = vai.dampener();
+  // Congestion clears but the bank still has tokens: dampener must not move.
+  vai.on_rtt_boundary(true);
+  EXPECT_DOUBLE_EQ(vai.dampener(), d);
+}
+
+TEST(VariableAi, DampenerResetRequiresEmptyBankAndQuietRtt) {
+  VariableAi vai(paper_params());
+  vai.observe(100'000);
+  vai.on_rtt_boundary(false);
+  // Drain the bank (spend=true removes min(cap, bank) = 100 tokens).
+  vai.ai_multiplier(true);
+  EXPECT_DOUBLE_EQ(vai.bank(), 0.0);
+  EXPECT_GT(vai.dampener(), 0.0);
+  vai.on_rtt_boundary(true);  // quiet RTT with empty bank
+  EXPECT_DOUBLE_EQ(vai.dampener(), 0.0);
+}
+
+TEST(VariableAi, DampenerStepsDownUnderMildCongestion) {
+  VariableAi vai(paper_params());
+  vai.observe(400'000);
+  vai.on_rtt_boundary(false);
+  vai.ai_multiplier(true);  // empty the bank (400 -> 300 ... needs 4 spends)
+  vai.ai_multiplier(true);
+  vai.ai_multiplier(true);
+  vai.ai_multiplier(true);
+  ASSERT_DOUBLE_EQ(vai.bank(), 0.0);
+  const double d = vai.dampener();
+  vai.observe(10'000);  // congested RTT but below threshold
+  vai.on_rtt_boundary(false);
+  EXPECT_DOUBLE_EQ(vai.dampener(), d - 1.0);
+}
+
+TEST(VariableAi, MultiplierSpendsFromBank) {
+  VariableAi vai(paper_params());
+  vai.observe(150'000);
+  vai.on_rtt_boundary(false);  // bank = 150
+  EXPECT_DOUBLE_EQ(vai.ai_multiplier(true),
+                   100.0 / (vai.dampener() / 8.0 + 1.0));
+  EXPECT_DOUBLE_EQ(vai.bank(), 50.0);
+}
+
+TEST(VariableAi, NonSpendingQueryLeavesBankIntact) {
+  VariableAi vai(paper_params());
+  vai.observe(150'000);
+  vai.on_rtt_boundary(false);
+  vai.ai_multiplier(false);
+  EXPECT_DOUBLE_EQ(vai.bank(), 150.0);
+}
+
+TEST(VariableAi, MultiplierNeverBelowOne) {
+  VariableAi vai(paper_params());
+  // Empty bank -> tokens 0 -> max(0/div, 1) = 1.
+  EXPECT_DOUBLE_EQ(vai.ai_multiplier(true), 1.0);
+  // Huge dampener also floors at 1.
+  for (int i = 0; i < 50; ++i) {
+    vai.observe(500'000);
+    vai.on_rtt_boundary(false);
+  }
+  EXPECT_GE(vai.ai_multiplier(true), 1.0);
+}
+
+TEST(VariableAi, SpendIsCappedAtAiCap) {
+  VariableAi vai(paper_params());
+  for (int i = 0; i < 20; ++i) {
+    vai.observe(1'000'000);
+    vai.on_rtt_boundary(false);
+  }
+  ASSERT_DOUBLE_EQ(vai.bank(), 1000.0);
+  vai.ai_multiplier(true);
+  EXPECT_DOUBLE_EQ(vai.bank(), 900.0);  // only AI_Cap tokens left the bank
+}
+
+TEST(VariableAi, DampenerDividesEffectiveTokens) {
+  VariableAiParams p = paper_params();
+  VariableAi vai(p);
+  vai.observe(100'000);
+  vai.on_rtt_boundary(false);  // bank 100, dampener 2
+  // divisor = 2/8 + 1 = 1.25 -> 100/1.25 = 80.
+  EXPECT_DOUBLE_EQ(vai.ai_multiplier(false), 80.0);
+}
+
+}  // namespace
+}  // namespace fastcc::core
