@@ -7,6 +7,7 @@
 #include "core/fairness.h"
 #include "core/fluid_model.h"
 #include "experiments/incast.h"
+#include "net/packet.h"
 #include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -70,6 +71,85 @@ void BM_CalendarQueueRollingHorizon(benchmark::State& state) {
 BENCHMARK(BM_EventQueueRollingHorizon)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CalendarQueueRollingHorizon)->Unit(benchmark::kMillisecond);
 
+// Rolling horizon with the simulator's *actual* hot closure shape: a Packet
+// (full INT stack, ~330 bytes) moved into the callback plus a pointer, as in
+// Port::maybe_start_tx / finish_tx.  This is the workload the small-buffer
+// optimization targets.
+template <typename Queue>
+void rolling_horizon_packet(benchmark::State& state) {
+  const int population = 4096;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    Queue q;
+    sim::Time now = 0;
+    net::Packet seed_pkt =
+        net::make_data(/*flow=*/1, /*src=*/0, /*dst=*/1, /*seq=*/0,
+                       /*payload=*/1000, /*now=*/0);
+    seed_pkt.int_count = net::kMaxHops;  // worst-case INT stack in flight
+    for (int i = 0; i < population; ++i) {
+      q.schedule(i % 500, [pkt = seed_pkt, &sink]() mutable {
+        sink += pkt.seq + pkt.wire_bytes;
+      });
+    }
+    for (int i = 0; i < 100'000; ++i) {
+      now = q.pop_and_run();
+      seed_pkt.seq += 1000;
+      q.schedule(now + 80 + (i * 37) % 400, [pkt = seed_pkt, &sink]() mutable {
+        sink += pkt.seq + pkt.wire_bytes;
+      });
+    }
+    while (!q.empty()) q.pop_and_run();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+void BM_EventQueueRollingHorizonPacket(benchmark::State& state) {
+  rolling_horizon_packet<sim::EventQueue>(state);
+}
+void BM_CalendarQueueRollingHorizonPacket(benchmark::State& state) {
+  rolling_horizon_packet<sim::CalendarQueue>(state);
+}
+BENCHMARK(BM_EventQueueRollingHorizonPacket)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CalendarQueueRollingHorizonPacket)->Unit(benchmark::kMillisecond);
+
+// Cancel-heavy retransmit-timer pattern: every "ACK" event cancels the
+// flow's pending RTO timer and re-arms it further out, exactly what
+// Host::handle_ack does per flow completion.  Stresses the cancellation
+// bookkeeping (formerly a hash set per schedule/pop, now a generation-
+// stamped slot table) and the lazy reclamation of tombstoned entries.
+template <typename Queue>
+void cancel_heavy(benchmark::State& state) {
+  const int flows = 256;
+  for (auto _ : state) {
+    Queue q;
+    std::vector<std::uint64_t> rto_timer(flows);
+    sim::Time now = 0;
+    for (int f = 0; f < flows; ++f) {
+      q.schedule(f % 100, [] {});                       // first "ACK"
+      rto_timer[f] = q.schedule(10'000 + f, [] {});     // pending RTO
+    }
+    int flow = 0;
+    for (int i = 0; i < 100'000; ++i) {
+      now = q.pop_and_run();
+      q.cancel(rto_timer[flow]);
+      rto_timer[flow] = q.schedule(now + 10'000, [] {});  // re-armed RTO
+      q.schedule(now + 80 + (i * 37) % 400, [] {});       // next ACK
+      flow = (flow + 1) % flows;
+    }
+    for (int f = 0; f < flows; ++f) q.cancel(rto_timer[f]);
+    while (!q.empty()) q.pop_and_run();
+  }
+  state.SetItemsProcessed(state.iterations() * 100'000);
+}
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  cancel_heavy<sim::EventQueue>(state);
+}
+void BM_CalendarQueueCancelHeavy(benchmark::State& state) {
+  cancel_heavy<sim::CalendarQueue>(state);
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_CalendarQueueCancelHeavy)->Unit(benchmark::kMillisecond);
+
 void BM_SimulatorSelfRescheduling(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   for (auto _ : state) {
@@ -129,23 +209,24 @@ void BM_FluidModelRk4(benchmark::State& state) {
 }
 BENCHMARK(BM_FluidModelRk4);
 
-/// End-to-end figure: full 8-1 incast (HPCC VAI SF), reported as simulated
-/// events per second.
+/// End-to-end figure: full N-to-1 incast (HPCC VAI SF), reported as simulated
+/// events per second through the entire packet pipeline.
 void BM_IncastEndToEnd(benchmark::State& state) {
+  const int senders = static_cast<int>(state.range(0));
   std::uint64_t events = 0;
   for (auto _ : state) {
     exp::IncastConfig config;
     config.variant = exp::Variant::kHpccVaiSf;
-    config.pattern.senders = 8;
+    config.pattern.senders = senders;
     config.pattern.flow_bytes = 100'000;
-    config.star.host_count = 9;
+    config.star.host_count = senders + 1;
     const exp::IncastResult r = run_incast(config);
     events += r.events_executed;
     benchmark::DoNotOptimize(r.completion_time);
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
-BENCHMARK(BM_IncastEndToEnd)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_IncastEndToEnd)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the core microbenchmarks and emits BENCH_core.json: git revision plus
+# events/sec and ns/event per benchmark, so successive PRs accumulate a perf
+# trajectory.  Usage:
+#
+#   bench/run_core_bench.sh [build_dir] [out.json]
+#
+# Defaults: build_dir=build, out=BENCH_core.json (repo root).  Requires jq.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR=${1:-build}
+OUT=${2:-BENCH_core.json}
+BIN="$BUILD_DIR/bench/microbench_core"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "error: $BIN not built (run: cmake -B $BUILD_DIR -S . && cmake --build $BUILD_DIR -j)" >&2
+  exit 1
+fi
+command -v jq >/dev/null || { echo "error: jq is required" >&2; exit 1; }
+
+GIT_REV=$(git rev-parse HEAD 2>/dev/null || echo unknown)
+RAW=$(mktemp)
+trap 'rm -f "$RAW"' EXIT
+
+"$BIN" \
+  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd' \
+  --benchmark_format=json >"$RAW"
+
+jq --arg rev "$GIT_REV" '{
+  git_rev: $rev,
+  date: .context.date,
+  host: .context.host_name,
+  benchmarks: [.benchmarks[] | {
+    name,
+    events_per_second: (.items_per_second // null),
+    ns_per_event: (if .items_per_second then (1e9 / .items_per_second) else null end),
+    real_time, cpu_time, time_unit
+  }]
+}' "$RAW" >"$OUT"
+
+echo "wrote $OUT (rev $GIT_REV)"
+jq -r '.benchmarks[] | "\(.name): \(.events_per_second // 0 | floor) events/s"' "$OUT"

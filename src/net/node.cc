@@ -70,9 +70,8 @@ void Node::send_pfc(int in_port, bool pause) {
   Node* peer = reverse.peer();
   const int arrival_port = reverse.peer_port();  // valid index on peer
   sim_.after(reverse.propagation_delay(),
-             [peer, arrival_port, f = frame]() mutable {
-               Packet copy = f;
-               peer->deliver(std::move(copy), arrival_port);
+             [peer, arrival_port, f = std::move(frame)]() mutable {
+               peer->deliver(std::move(f), arrival_port);
              });
 }
 

@@ -60,6 +60,9 @@ struct Packet {
   bool cnp = false;       ///< DCQCN congestion-notification flag on ACKs.
 
   sim::Time host_ts = 0;  ///< Sender timestamp; echoed on the ACK.
+  sim::Time ack_ts = 0;   ///< Receiver timestamp when the ACK was generated
+                          ///< (0 on data packets); enables one-way/remote
+                          ///< delay decomposition at the sender.
 
   /// INT stack (data: accumulated per hop; ACK: echoed copy).
   std::array<IntRecord, kMaxHops> ints{};
@@ -94,8 +97,9 @@ inline Packet make_data(FlowId flow, NodeId src, NodeId dst, std::uint64_t seq,
   return p;
 }
 
-/// Builds the ACK for a received data packet (reverse direction).
-inline Packet make_ack(const Packet& data, sim::Time /*now*/) {
+/// Builds the ACK for a received data packet (reverse direction), stamped
+/// with the receiver's generation time `now`.
+inline Packet make_ack(const Packet& data, sim::Time now) {
   Packet a;
   a.type = PacketType::kAck;
   a.flow = data.flow;
@@ -106,7 +110,11 @@ inline Packet make_ack(const Packet& data, sim::Time /*now*/) {
   a.wire_bytes = kAckBytes;
   a.ecn = data.ecn;
   a.host_ts = data.host_ts;  // echo for RTT measurement
-  a.ints = data.ints;
+  a.ack_ts = now;
+  // Echo only the populated INT records; the remainder of the fresh stack is
+  // already zero, so copying the full kMaxHops array would be wasted work on
+  // every ACK.
+  for (std::uint8_t i = 0; i < data.int_count; ++i) a.ints[i] = data.ints[i];
   a.int_count = data.int_count;
   return a;
 }

@@ -65,14 +65,9 @@ void Port::maybe_start_tx() {
 
   // Dequeue at transmission *start* so a control packet arriving mid-
   // serialization cannot displace the packet already on the wire.
-  Packet p;
-  if (!high_q_.empty()) {
-    p = std::move(high_q_.front());
-    high_q_.pop_front();
-  } else {
-    p = std::move(low_q_.front());
-    low_q_.pop_front();
-  }
+  std::deque<Packet>& next_q = !high_q_.empty() ? high_q_ : low_q_;
+  Packet p = std::move(next_q.front());
+  next_q.pop_front();
   queued_bytes_ -= p.wire_bytes;
   if (p.type == PacketType::kData) data_queued_bytes_ -= p.wire_bytes;
   tx_bytes_ += p.wire_bytes;
@@ -93,9 +88,11 @@ void Port::maybe_start_tx() {
 
   busy_ = true;
   const sim::Time tx_time = sim::serialization_time(p.wire_bytes, bandwidth_);
-  sim_.after(tx_time, [this, pkt = std::move(p)]() mutable {
-    finish_tx(std::move(pkt));
-  });
+  auto done = [this, pkt = std::move(p)]() mutable { finish_tx(std::move(pkt)); };
+  static_assert(sim::UniqueFunction::fits_inline<decltype(done)>,
+                "per-hop tx closure must stay within the scheduler's inline "
+                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
+  sim_.after(tx_time, std::move(done));
 }
 
 void Port::finish_tx(Packet&& p) {
@@ -103,9 +100,13 @@ void Port::finish_tx(Packet&& p) {
   // Hand the packet to the wire: it arrives after the propagation delay.
   Node* peer = peer_;
   const int in_port = peer_port_;
-  sim_.after(prop_delay_, [peer, in_port, pkt = std::move(p)]() mutable {
+  auto arrive = [peer, in_port, pkt = std::move(p)]() mutable {
     peer->deliver(std::move(pkt), in_port);
-  });
+  };
+  static_assert(sim::UniqueFunction::fits_inline<decltype(arrive)>,
+                "propagation closure must stay within the scheduler's inline "
+                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
+  sim_.after(prop_delay_, std::move(arrive));
 
   busy_ = false;
   maybe_start_tx();

@@ -8,12 +8,15 @@
 // type alias; equivalence is enforced by property tests.  The bucket count
 // doubles/halves as the population grows/shrinks, and the bucket width is
 // recalibrated from the observed inter-event spacing on each resize.
+// Cancellation shares EventQueue's generation-stamped slot pool, which also
+// owns the callbacks, so buckets hold only 24-byte entries and schedule/pop
+// never touch a hash set.
 #pragma once
 
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_handle.h"
 #include "sim/time.h"
 #include "sim/unique_function.h"
 
@@ -30,20 +33,28 @@ class CalendarQueue {
   Id schedule(Time at, Callback cb);
   bool cancel(Id id);
 
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
+  bool empty() const { return slots_.live() == 0; }
+  std::size_t size() const { return slots_.live(); }
 
   /// Timestamp of the earliest live event.  Precondition: !empty().
   Time next_time();
 
   /// Pops and runs the earliest live event; returns its timestamp.
+  /// Precondition: !empty().
   Time pop_and_run();
+
+  /// If the earliest live event fires at or before `until`, removes it,
+  /// moves its callback into `out`, and returns its timestamp; otherwise
+  /// returns kNoEventTime and leaves the queue untouched.  This is the
+  /// simulator's hot path: one find_min per event, and the caller advances
+  /// its clock before invoking the callback.
+  Time take_next(Time until, Callback& out);
 
  private:
   struct Entry {
     Time at;
-    Id id;
-    Callback cb;
+    std::uint64_t seq;  // monotonically increasing; breaks ties FIFO
+    Id id;              // callback lives in the slot pool under this handle
   };
 
   std::size_t bucket_of(Time t) const {
@@ -60,9 +71,8 @@ class CalendarQueue {
   std::vector<std::vector<Entry>> buckets_;
   Time width_;
   Time last_popped_ = 0;
-  std::size_t live_ = 0;
-  Id next_id_ = 0;
-  std::unordered_set<Id> pending_;
+  std::uint64_t next_seq_ = 0;
+  EventSlotPool slots_;
 };
 
 }  // namespace fastcc::sim

@@ -1,42 +1,99 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <cassert>
+#include <limits>
 #include <utility>
 
 namespace fastcc::sim {
 
 EventId EventQueue::schedule(Time at, Callback cb) {
-  const EventId id = next_id_++;
-  heap_.push(Entry{at, id, std::move(cb)});
-  pending_.insert(id);
+  const std::uint64_t seq = next_seq_++;
+  const EventId id = slots_.acquire(std::move(cb));
+  push_entry(Entry{at, seq, id});
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) > 0; }
+bool EventQueue::cancel(EventId id) { return slots_.cancel(id); }
+
+void EventQueue::push_entry(Entry e) {
+  heap_.push_back(e);
+  sift_up(heap_.size() - 1);
+}
+
+void EventQueue::pop_min() {
+  assert(!heap_.empty());
+  const Entry back = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  // Walk the hole left by the root down along minimum children to a leaf,
+  // then drop the former last element in and bubble it up.  Compared to the
+  // textbook "move last to root and sift down", this saves one comparison
+  // per level, and in time-ordered workloads the (late) last element almost
+  // always stays at the leaf, so the bubble-up is a single comparison.
+  std::size_t hole = 0;
+  const std::size_t n = heap_.size();
+  while (true) {
+    const std::size_t first_child = hole * kArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child = std::min(first_child + kArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (earlier(heap_[c], heap_[best])) best = c;
+    }
+    heap_[hole] = heap_[best];
+    hole = best;
+  }
+  heap_[hole] = back;
+  sift_up(hole);
+}
+
+void EventQueue::sift_up(std::size_t i) {
+  const Entry e = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kArity;
+    if (!earlier(e, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = e;
+}
 
 void EventQueue::drop_dead_head() {
-  while (!heap_.empty() && !pending_.contains(heap_.top().id)) {
-    heap_.pop();
+  // A slot is only released when its entry leaves the heap, so an in-heap
+  // entry that is not live was cancelled and can be reclaimed here.
+  while (!heap_.empty() && !slots_.is_live(heap_.front().id)) {
+    slots_.release(heap_.front().id);
+    pop_min();
   }
 }
 
 Time EventQueue::next_time() const {
+  assert(!empty());
   auto* self = const_cast<EventQueue*>(this);
   self->drop_dead_head();
   assert(!heap_.empty());
-  return heap_.top().at;
+  return heap_.front().at;
+}
+
+Time EventQueue::take_next(Time until, Callback& out) {
+  drop_dead_head();
+  if (heap_.empty() || heap_.front().at > until) return kNoEventTime;
+  // Take the callback out of its slot and pop before it runs, so the
+  // callback may freely schedule into (or drain) the queue.
+  const Entry top = heap_.front();
+  pop_min();
+  slots_.release_into(top.id, out);
+  return top.at;
 }
 
 Time EventQueue::pop_and_run() {
-  drop_dead_head();
-  assert(!heap_.empty());
-  // Move the callback out before popping so the entry can be destroyed, then
-  // run it outside of any heap invariants.
-  Entry top = std::move(const_cast<Entry&>(heap_.top()));
-  heap_.pop();
-  pending_.erase(top.id);
-  top.cb();
-  return top.at;
+  assert(!empty());
+  Callback cb;
+  const Time at = take_next(std::numeric_limits<Time>::max(), cb);
+  assert(at != kNoEventTime);
+  cb();
+  return at;
 }
 
 }  // namespace fastcc::sim

@@ -1,21 +1,27 @@
-// A stable binary-heap event queue for discrete-event simulation.
+// A stable 4-ary-heap event queue for discrete-event simulation.
 //
 // Events scheduled for the same timestamp fire in insertion order, which keeps
 // simulations deterministic regardless of heap internals.  Cancellation is
-// lazy: cancelled events stay in the heap and are skipped on pop.
+// lazy: cancelled events stay in the heap and are skipped on pop.  The
+// cancellation bookkeeping is a generation-stamped slot pool rather than a
+// hash set, and the pool also owns the callbacks, so the heap orders only
+// 24-byte entries and schedule/pop are pure heap operations plus O(1)
+// flat-array updates — allocation-free in the steady state.  A 4-ary heap
+// halves the sift depth of a binary heap and keeps each sibling group within
+// ~1.5 cache lines, which measurably speeds up the pop-heavy simulator loop.
 #pragma once
 
 #include <cstdint>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "sim/event_handle.h"
 #include "sim/time.h"
 #include "sim/unique_function.h"
 
 namespace fastcc::sim {
 
 /// Opaque handle identifying a scheduled event; usable for cancellation.
+/// Encodes a slot index plus a generation stamp — see EventSlotPool.
 using EventId = std::uint64_t;
 
 class EventQueue {
@@ -31,9 +37,9 @@ class EventQueue {
   bool cancel(EventId id);
 
   /// True when no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
+  bool empty() const { return slots_.live() == 0; }
 
-  std::size_t size() const { return pending_.size(); }
+  std::size_t size() const { return slots_.live(); }
 
   /// Timestamp of the earliest live event.  Precondition: !empty().
   Time next_time() const;
@@ -42,28 +48,39 @@ class EventQueue {
   /// Precondition: !empty().
   Time pop_and_run();
 
+  /// If the earliest live event fires at or before `until`, removes it,
+  /// moves its callback into `out`, and returns its timestamp; otherwise
+  /// returns kNoEventTime and leaves the queue untouched.  This is the
+  /// simulator's hot path: one ordering lookup per event, and the caller
+  /// advances its clock before invoking the callback.
+  Time take_next(Time until, Callback& out);
+
   /// Total events ever scheduled (for instrumentation).
-  std::uint64_t scheduled_total() const { return next_id_; }
+  std::uint64_t scheduled_total() const { return next_seq_; }
 
  private:
   struct Entry {
     Time at;
-    EventId id;  // monotonically increasing; breaks ties FIFO
-    Callback cb;
+    std::uint64_t seq;  // monotonically increasing; breaks ties FIFO
+    EventId id;         // callback lives in the slot pool under this handle
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
-  };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
 
-  /// Discards heap entries whose id is no longer pending (cancelled).
+  static constexpr std::size_t kArity = 4;
+
+  void push_entry(Entry e);
+  void pop_min();
+  void sift_up(std::size_t i);
+
+  /// Discards heap entries whose handle is no longer live (cancelled).
   void drop_dead_head();
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  std::unordered_set<EventId> pending_;
-  EventId next_id_ = 0;
+  std::vector<Entry> heap_;  // implicit 4-ary min-heap
+  EventSlotPool slots_;
+  std::uint64_t next_seq_ = 0;
 };
 
 }  // namespace fastcc::sim

@@ -4,18 +4,22 @@
 
 namespace fastcc::sim {
 
-EventId Simulator::at(Time when, EventQueue::Callback cb) {
+EventId Simulator::at(Time when, Callback cb) {
   assert(when >= now_ && "cannot schedule into the past");
   return events_.schedule(when, std::move(cb));
 }
 
 Time Simulator::run(Time until) {
   stopped_ = false;
-  while (!events_.empty() && !stopped_) {
-    const Time next = events_.next_time();
-    if (next > until) break;
+  while (!stopped_) {
+    // take_next performs a single ordering lookup per event (the old
+    // next_time + pop_and_run pair scanned twice) and hands the callback
+    // back un-invoked, so the clock is advanced before the event runs.
+    Callback cb;
+    const Time next = events_.take_next(until, cb);
+    if (next == kNoEventTime) break;
     now_ = next;
-    events_.pop_and_run();
+    cb();
     ++executed_;
   }
   // Unless stopped mid-run, a bounded run() leaves the clock at the deadline

@@ -17,6 +17,10 @@ inline constexpr Time kMicrosecond = 1000 * kNanosecond;
 inline constexpr Time kMillisecond = 1000 * kMicrosecond;
 inline constexpr Time kSecond = 1000 * kMillisecond;
 
+/// Sentinel returned by the event queues' take_next() when no event at or
+/// before the bound exists.  Simulations run on non-negative timestamps.
+inline constexpr Time kNoEventTime = -1;
+
 /// Link / injection rate in bytes per nanosecond (== GB/s).
 using Rate = double;
 

@@ -1,12 +1,20 @@
-// UniqueFunction: a move-only void() callable.
+// UniqueFunction: a move-only void() callable with small-buffer optimization.
 //
 // Scheduled events frequently capture move-only state (packets in flight,
 // flow state with owning pointers); std::function requires copyability, and
 // std::move_only_function is C++23, so this small type-erased wrapper fills
-// the gap.
+// the gap.  Callables up to kInlineSize bytes — sized so the simulator's
+// hottest closure, a net::Packet moved into a lambda plus a couple of
+// pointers, fits — are stored inline, so scheduling an event performs zero
+// heap allocations in the steady state.  Oversized (or over-aligned, or
+// throwing-move) callables transparently fall back to a single heap
+// allocation, preserving the old behavior.
 #pragma once
 
-#include <memory>
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <new>
 #include <type_traits>
 #include <utility>
 
@@ -14,38 +22,136 @@ namespace fastcc::sim {
 
 class UniqueFunction {
  public:
+  /// Inline capacity.  A Packet with its full INT stack is ~330 bytes; the
+  /// per-hop forwarding closures capture one Packet plus a pointer or two,
+  /// so 384 bytes covers every closure on the packet hot path with headroom.
+  static constexpr std::size_t kInlineSize = 384;
+  static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
+
+  /// True when callables of type F are stored inline (no heap allocation).
+  /// Inline storage additionally requires a nothrow move so relocation
+  /// during queue maintenance cannot throw mid-heap-sift.
+  template <typename F>
+  static constexpr bool fits_inline =
+      sizeof(std::decay_t<F>) <= kInlineSize &&
+      alignof(std::decay_t<F>) <= kInlineAlign &&
+      std::is_nothrow_move_constructible_v<std::decay_t<F>>;
+
   UniqueFunction() = default;
 
   template <typename F,
             typename = std::enable_if_t<
                 !std::is_same_v<std::decay_t<F>, UniqueFunction> &&
                 std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  UniqueFunction(F&& f)  // NOLINT(google-explicit-constructor)
-      : impl_(std::make_unique<Impl<std::decay_t<F>>>(std::forward<F>(f))) {}
+  UniqueFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    using D = std::decay_t<F>;
+    if constexpr (fits_inline<D>) {
+      ::new (storage()) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (storage()) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
 
-  UniqueFunction(UniqueFunction&&) = default;
-  UniqueFunction& operator=(UniqueFunction&&) = default;
+  UniqueFunction(UniqueFunction&& other) noexcept { move_from(other); }
+
+  UniqueFunction& operator=(UniqueFunction&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      move_from(other);
+    }
+    return *this;
+  }
+
   UniqueFunction(const UniqueFunction&) = delete;
   UniqueFunction& operator=(const UniqueFunction&) = delete;
 
-  explicit operator bool() const { return impl_ != nullptr; }
+  ~UniqueFunction() { destroy(); }
 
-  void operator()() { impl_->call(); }
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  /// Invokes the callable.  Invoking an empty (default-constructed or
+  /// moved-from) UniqueFunction asserts in Debug and is a no-op in Release.
+  void operator()() {
+    assert(ops_ != nullptr && "invoking an empty UniqueFunction");
+    if (ops_ != nullptr) ops_->invoke(storage());
+  }
 
  private:
-  struct Base {
-    virtual ~Base() = default;
-    virtual void call() = 0;
-  };
-  template <typename F>
-  struct Impl final : Base {
-    explicit Impl(F&& f) : fn(std::move(f)) {}
-    explicit Impl(const F& f) : fn(f) {}
-    void call() override { fn(); }
-    F fn;
+  struct Ops {
+    void (*invoke)(void*);
+    /// Move-constructs dst from src and destroys src.  nullptr marks the
+    /// stored representation trivially relocatable: memcpy `size` bytes.
+    void (*relocate)(void* dst, void* src);
+    /// Destroys the stored object.  nullptr when trivially destructible.
+    void (*destroy)(void*);
+    std::size_t size;
   };
 
-  std::unique_ptr<Base> impl_;
+  template <typename D>
+  static void invoke_inline(void* s) {
+    (*static_cast<D*>(s))();
+  }
+  template <typename D>
+  static void relocate_inline(void* dst, void* src) {
+    D* from = static_cast<D*>(src);
+    ::new (dst) D(std::move(*from));
+    from->~D();
+  }
+  template <typename D>
+  static void destroy_inline(void* s) {
+    static_cast<D*>(s)->~D();
+  }
+
+  template <typename D>
+  static void invoke_heap(void* s) {
+    (**static_cast<D**>(s))();
+  }
+  template <typename D>
+  static void destroy_heap(void* s) {
+    delete *static_cast<D**>(s);
+  }
+
+  // Packet-capturing lambdas are trivially copyable, so the common case
+  // relocates by memcpy with no indirect call and destroys for free.
+  template <typename D>
+  static constexpr Ops kInlineOps{
+      &invoke_inline<D>,
+      std::is_trivially_copyable_v<D> && std::is_trivially_destructible_v<D>
+          ? nullptr
+          : &relocate_inline<D>,
+      std::is_trivially_destructible_v<D> ? nullptr : &destroy_inline<D>,
+      sizeof(D)};
+
+  /// Heap-stored callables keep only the owning D* inline; relocation copies
+  /// the pointer, destruction deletes through it.
+  template <typename D>
+  static constexpr Ops kHeapOps{&invoke_heap<D>, nullptr, &destroy_heap<D>,
+                                sizeof(D*)};
+
+  void* storage() { return static_cast<void*>(buf_); }
+
+  void move_from(UniqueFunction& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ == nullptr) return;
+    if (ops_->relocate != nullptr) {
+      ops_->relocate(storage(), other.storage());
+    } else {
+      std::memcpy(buf_, other.buf_, ops_->size);
+    }
+    other.ops_ = nullptr;
+  }
+
+  void destroy() noexcept {
+    if (ops_ != nullptr && ops_->destroy != nullptr) ops_->destroy(storage());
+    ops_ = nullptr;
+  }
+
+  // ops_ precedes the buffer so that for small callables the dispatch
+  // pointer and the captured state share the first cache line.
+  const Ops* ops_ = nullptr;
+  alignas(kInlineAlign) unsigned char buf_[kInlineSize];
 };
 
 }  // namespace fastcc::sim

@@ -1,0 +1,144 @@
+// Proves the acceptance criterion of the allocation-free dispatch work: in
+// the steady state, scheduling and running the common packet-event closures
+// performs ZERO heap allocations.  Global operator new/delete are replaced
+// with counting versions, so this test lives in its own executable — the
+// hook is process-wide and deliberately not linked into fastcc_tests.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "net/packet.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+
+namespace {
+// Not atomic: the simulator and these tests are single-threaded, and gtest
+// only spawns threads in death tests (unused here).
+std::size_t g_news = 0;
+}  // namespace
+
+void* operator new(std::size_t size) {
+  ++g_news;
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  ++g_news;
+  return std::malloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  ++g_news;
+  const std::size_t a = static_cast<std::size_t>(align);
+  const std::size_t rounded = (size + a - 1) / a * a;  // aligned_alloc rule
+  if (void* p = std::aligned_alloc(a, rounded)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+
+namespace fastcc {
+namespace {
+
+net::Packet worst_case_packet() {
+  net::Packet p = net::make_data(/*flow=*/1, /*src=*/0, /*dst=*/1, /*seq=*/0,
+                                 /*payload=*/1000, /*now=*/0);
+  p.int_count = net::kMaxHops;  // full INT stack, the largest hot closure
+  return p;
+}
+
+// Rolling-horizon schedule/pop cycles with Packet-capturing closures.
+// Warm-up lets every internal vector (heap, slots, freelist, buckets) reach
+// its steady-state capacity; after that, not one allocation is allowed.
+template <typename Queue>
+void expect_steady_state_alloc_free() {
+  Queue q;
+  const net::Packet pkt = worst_case_packet();
+  std::uint64_t sink = 0;
+  auto closure = [pkt, &sink] { sink += pkt.seq + pkt.wire_bytes; };
+  static_assert(sim::UniqueFunction::fits_inline<decltype(closure)>,
+                "packet closure must fit the inline buffer");
+
+  sim::Time now = 0;
+  for (int i = 0; i < 512; ++i) q.schedule(i % 97, closure);
+  for (int i = 0; i < 60'000; ++i) {  // warm-up: capacities settle
+    now = q.pop_and_run();
+    q.schedule(now + 80 + (i * 37) % 400, closure);
+  }
+
+  const std::size_t before = g_news;
+  for (int i = 0; i < 20'000; ++i) {
+    now = q.pop_and_run();
+    q.schedule(now + 80 + (i * 37) % 400, closure);
+  }
+  const std::size_t delta = g_news - before;
+  EXPECT_EQ(delta, 0u) << "steady-state schedule/pop allocated";
+
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_GT(sink, 0u);
+}
+
+TEST(AllocFreeDispatch, EventQueueSteadyStatePacketClosures) {
+  expect_steady_state_alloc_free<sim::EventQueue>();
+}
+
+TEST(AllocFreeDispatch, CalendarQueueSteadyStatePacketClosures) {
+  expect_steady_state_alloc_free<sim::CalendarQueue>();
+}
+
+// End-to-end through the Simulator run loop: a fleet of self-rescheduling
+// packet-carrying events, exactly the shape Port::finish_tx produces.
+struct SelfRescheduler {
+  sim::Simulator* s;
+  net::Packet pkt;
+  std::uint64_t* sink;
+
+  void tick() const {
+    *sink += pkt.seq;
+    // Fixed period: the occupancy pattern repeats exactly, so the warm-up
+    // provably reaches peak bucket capacity.  Irregular spacing (where the
+    // peak creeps up over millions of events and the occasional amortized
+    // vector doubling is expected) is exercised by the queue-level tests.
+    s->after(128, [self = *this] { self.tick(); });
+  }
+};
+
+TEST(AllocFreeDispatch, SimulatorRunLoopSteadyState) {
+  sim::Simulator s;
+  std::uint64_t sink = 0;
+  for (int i = 0; i < 64; ++i) {
+    SelfRescheduler r{&s, worst_case_packet(), &sink};
+    r.pkt.seq = static_cast<std::uint64_t>(i);
+    s.after(i, [r] { r.tick(); });
+  }
+  s.run(/*until=*/2'000'000);  // warm-up: calendar buckets reach capacity
+
+  const std::size_t before = g_news;
+  s.run(/*until=*/6'000'000);
+  const std::size_t delta = g_news - before;
+  EXPECT_EQ(delta, 0u) << "simulator steady state allocated";
+  EXPECT_GT(sink, 0u);
+}
+
+// Sanity check that the hook itself works, so the zero deltas above can't
+// be a silently dead counter.
+TEST(AllocFreeDispatch, HookCountsOversizedClosures) {
+  const std::size_t before = g_news;
+  struct Big {
+    char pad[sim::UniqueFunction::kInlineSize + 64] = {};
+  };
+  sim::UniqueFunction f([big = Big()] { (void)big; });
+  f();
+  EXPECT_GT(g_news - before, 0u) << "operator-new hook is not active";
+}
+
+}  // namespace
+}  // namespace fastcc

@@ -107,6 +107,53 @@ TEST(CalendarQueue, RandomizedEquivalenceWithEventQueue) {
   }
 }
 
+TEST(CalendarQueue, CancelHeavyEquivalenceWithEventQueue) {
+  // Retransmit-timer torture: high cancellation rate with immediate
+  // re-arming, the pattern that stresses lazy tombstone reclamation in the
+  // calendar buckets and slot reuse in the pool.  Both queues must agree on
+  // every pop time and every cancel outcome.
+  Rng rng(99);
+  for (int round = 0; round < 3; ++round) {
+    CalendarQueue cal(16, 50);
+    EventQueue heap;
+    std::vector<std::pair<CalendarQueue::Id, EventId>> timers;
+    Time clock = 0;
+    int pops = 0;
+    for (int i = 0; i < 3000; ++i) {
+      const int op = static_cast<int>(rng.uniform_int(0, 9));
+      if (op < 4 || timers.empty()) {
+        const Time at = clock + 1 + rng.uniform_int(0, 200);
+        timers.emplace_back(cal.schedule(at, [] {}),
+                            heap.schedule(at, [] {}));
+      } else if (op < 8) {
+        // Cancel a random timer and immediately re-arm it far out — the
+        // cancel-heavy half of the workload.
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(timers.size()) - 1));
+        const bool a = cal.cancel(timers[idx].first);
+        const bool b = heap.cancel(timers[idx].second);
+        ASSERT_EQ(a, b) << "cancel outcome diverged at op " << i;
+        const Time at = clock + 10'000 + rng.uniform_int(0, 500);
+        timers[idx] = {cal.schedule(at, [] {}), heap.schedule(at, [] {})};
+      } else if (!cal.empty()) {
+        ASSERT_FALSE(heap.empty());
+        const Time tc = cal.pop_and_run();
+        const Time th = heap.pop_and_run();
+        ASSERT_EQ(tc, th) << "pop order diverged at op " << i;
+        clock = tc;
+        ++pops;
+      }
+    }
+    EXPECT_EQ(cal.size(), heap.size());
+    while (!cal.empty()) {
+      ASSERT_FALSE(heap.empty());
+      ASSERT_EQ(cal.pop_and_run(), heap.pop_and_run());
+    }
+    EXPECT_TRUE(heap.empty());
+    EXPECT_GT(pops, 0);
+  }
+}
+
 TEST(CalendarQueue, MoveOnlyCallbacks) {
   CalendarQueue q;
   auto token = std::make_unique<int>(9);

@@ -1,0 +1,62 @@
+// Determinism golden test: the same experiment run twice in one process must
+// produce byte-identical output.  DESIGN.md §5 promises this, and the
+// allocation-free event dispatch (slot reuse, generation stamps, calendar
+// bucket compaction) must never let physical storage order leak into event
+// execution order.  Every comparison below is exact — no tolerances.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "experiments/incast.h"
+#include "stats/timeseries.h"
+
+namespace fastcc::exp {
+namespace {
+
+IncastConfig hpcc_incast16() {
+  IncastConfig c;
+  c.variant = Variant::kHpcc;
+  c.pattern.senders = 16;
+  c.pattern.flow_bytes = 150'000;
+  c.star.host_count = 17;
+  return c;
+}
+
+void expect_bytewise_equal(const stats::TimeSeries& a,
+                           const stats::TimeSeries& b, const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const stats::TimePoint& pa = a.points()[i];
+    const stats::TimePoint& pb = b.points()[i];
+    EXPECT_EQ(pa.t, pb.t) << what << " point " << i;
+    // Bitwise, not ==: distinguishes -0.0 from 0.0 and catches any NaN
+    // drifting in (NaN == NaN is false but identical bits are identical).
+    EXPECT_EQ(std::memcmp(&pa.value, &pb.value, sizeof(double)), 0)
+        << what << " point " << i << ": " << pa.value << " vs " << pb.value;
+  }
+}
+
+TEST(DeterminismGolden, Incast16To1HpccIsByteIdenticalAcrossReruns) {
+  const IncastResult first = run_incast(hpcc_incast16());
+  const IncastResult second = run_incast(hpcc_incast16());
+
+  // Event-level identity: same number of events executed means the two runs
+  // traced the same schedule, not merely similar aggregates.
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.drops, second.drops);
+  EXPECT_EQ(first.completion_time, second.completion_time);
+
+  ASSERT_EQ(first.flows.size(), second.flows.size());
+  for (std::size_t i = 0; i < first.flows.size(); ++i) {
+    EXPECT_EQ(first.flows[i].id, second.flows[i].id) << "flow " << i;
+    EXPECT_EQ(first.flows[i].start, second.flows[i].start) << "flow " << i;
+    EXPECT_EQ(first.flows[i].finish, second.flows[i].finish) << "flow " << i;
+  }
+
+  expect_bytewise_equal(first.jain, second.jain, "jain");
+  expect_bytewise_equal(first.queue_bytes, second.queue_bytes, "queue_bytes");
+  expect_bytewise_equal(first.utilization, second.utilization, "utilization");
+}
+
+}  // namespace
+}  // namespace fastcc::exp

@@ -101,6 +101,35 @@ TEST(EventQueue, MoveOnlyCallbacksAreSupported) {
   EXPECT_EQ(observed, 7);
 }
 
+TEST(EventQueue, CancelHeavyRearmReusesSlotsCorrectly) {
+  // The retransmit-timer pattern: every pop cancels a pending far-future
+  // timer and re-arms it.  Slots are recycled constantly, so any confusion
+  // between a slot's old and new occupant (a generation-stamp bug) would
+  // fire the wrong callback or resurrect a cancelled one.
+  EventQueue q;
+  constexpr int kFlows = 16;
+  std::vector<EventId> rto(kFlows);
+  std::vector<int> rto_fired(kFlows, 0);
+  int acks = 0;
+  for (int f = 0; f < kFlows; ++f) {
+    q.schedule(f, [&acks] { ++acks; });
+    rto[f] = q.schedule(100'000 + f, [&rto_fired, f] { ++rto_fired[f]; });
+  }
+  Time now = 0;
+  for (int i = 0; i < 2000; ++i) {
+    now = q.pop_and_run();
+    const int f = i % kFlows;
+    EXPECT_TRUE(q.cancel(rto[f])) << "re-armed timer must still be live";
+    rto[f] = q.schedule(now + 100'000, [&rto_fired, f] { ++rto_fired[f]; });
+    q.schedule(now + 1 + i % 7, [&acks] { ++acks; });
+  }
+  // Cancel all timers: only ACK callbacks may ever have run.
+  for (int f = 0; f < kFlows; ++f) EXPECT_TRUE(q.cancel(rto[f]));
+  while (!q.empty()) q.pop_and_run();
+  EXPECT_EQ(acks, kFlows + 2000);  // every ACK ran, initial + rescheduled
+  for (int f = 0; f < kFlows; ++f) EXPECT_EQ(rto_fired[f], 0);
+}
+
 TEST(EventQueue, ManyEventsStressOrdering) {
   EventQueue q;
   Time last = -1;

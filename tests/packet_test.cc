@@ -35,6 +35,7 @@ TEST(Packet, MakeAckReversesDirectionAndEchoes) {
   EXPECT_EQ(ack.seq, 11'000u);  // cumulative: seq + payload
   EXPECT_EQ(ack.wire_bytes, kAckBytes);
   EXPECT_EQ(ack.host_ts, 555);  // echoed sender timestamp
+  EXPECT_EQ(ack.ack_ts, 600);   // stamped at ACK generation
   EXPECT_TRUE(ack.ecn);
   ASSERT_EQ(ack.int_count, 1);
   EXPECT_EQ(ack.ints[0].timestamp, 42);
