@@ -1,22 +1,12 @@
 #include "experiments/datacenter.h"
 
 #include <cassert>
-#include <unordered_map>
+#include <map>
 
 #include "net/network.h"
 #include "sim/simulator.h"
 
 namespace fastcc::exp {
-
-namespace {
-/// Path lookups keyed by (src, dst); the fat-tree is symmetric so repeated
-/// pairs are common and BFS is worth caching.
-struct PairHash {
-  std::size_t operator()(const std::pair<net::NodeId, net::NodeId>& p) const {
-    return (static_cast<std::size_t>(p.first) << 32) | p.second;
-  }
-};
-}  // namespace
 
 DatacenterResult run_datacenter(const DatacenterConfig& config) {
   assert(!config.components.empty() || !config.preset_flows.empty());
@@ -50,9 +40,11 @@ DatacenterResult run_datacenter(const DatacenterConfig& config) {
     specs = workload::generate_poisson_traffic(traffic, traffic_rng);
   }
 
-  std::unordered_map<std::pair<net::NodeId, net::NodeId>, net::PathInfo,
-                     PairHash>
-      path_cache;
+  // Path lookups keyed by (src, dst); the fat-tree is symmetric so repeated
+  // pairs are common and BFS is worth caching.  Ordered map: deterministic
+  // by construction, and node-based storage keeps the PathInfo references
+  // handed out below stable across later insertions.
+  std::map<std::pair<net::NodeId, net::NodeId>, net::PathInfo> path_cache;
   auto path_of = [&](net::NodeId src, net::NodeId dst) -> const net::PathInfo& {
     auto key = std::make_pair(src, dst);
     auto it = path_cache.find(key);
@@ -67,8 +59,9 @@ DatacenterResult run_datacenter(const DatacenterConfig& config) {
   std::size_t completed = 0;
   const std::size_t total = specs.size();
 
-  std::unordered_map<net::FlowId, const net::PathInfo*> flow_paths;
-  flow_paths.reserve(total);
+  // Keyed lookups only (never iterated); ordered map for determinism by
+  // construction.
+  std::map<net::FlowId, const net::PathInfo*> flow_paths;
 
   for (net::Host* h : tree.hosts) {
     h->set_completion_callback([&](const net::FlowTx& f) {
@@ -86,6 +79,9 @@ DatacenterResult run_datacenter(const DatacenterConfig& config) {
     spec.dst = dst->id();
     const net::PathInfo& path = path_of(spec.src, spec.dst);
     flow_paths.emplace(spec.id, &path);
+    // The factory and cached path outlive the schedule: simulator.run()
+    // below drains every flow-start event before this scope exits.
+    // lint:allow(ref-capture-callback -- run() drains before scope exit)
     simulator.at(spec.start_time, [&factory, src, spec, &path] {
       net::FlowTx flow;
       flow.spec = spec;

@@ -108,7 +108,10 @@ IncastResult run_incast(const IncastConfig& config) {
       spec.dst = receiver->id();
       spec.size_bytes = config.probe_bytes;
       spec.start_time = (i + 1) * config.probe_interval;
+      // config/factory outlive the schedule: simulator.run() below drains
+      // every probe-start event before this scope exits.
       simulator.at(spec.start_time,
+                   // lint:allow(ref-capture-callback -- run() drains first)
                    [&config, &factory, prober, spec, probe_path] {
                      net::FlowTx flow;
                      flow.spec = spec;
@@ -127,6 +130,7 @@ IncastResult run_incast(const IncastConfig& config) {
     net::Host* src = star.hosts[spec.src - star.hosts.front()->id()];
     assert(src->id() == spec.src);
     const net::PathInfo path = network.path(spec.src, spec.dst);
+    // lint:allow(ref-capture-callback -- run() drains before scope exit)
     simulator.at(spec.start_time, [&config, &factory, src, spec, path] {
       net::FlowTx flow;
       flow.spec = spec;

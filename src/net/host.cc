@@ -11,9 +11,10 @@ void Host::start_flow(FlowTx flow) {
   assert(flow.cc != nullptr && "flow needs a congestion controller");
   assert(flow.line_rate > 0 && flow.base_rtt > 0 && flow.mtu > 0);
   const FlowId fid = flow.spec.id;
-  auto [it, inserted] = tx_flows_.emplace(fid, std::move(flow));
+  auto [slot, inserted] = tx_flows_.try_emplace(fid, std::move(flow));
   assert(inserted && "duplicate flow id");
-  FlowTx& f = it->second;
+  (void)inserted;
+  FlowTx& f = *slot;
   ++active_flows_;
   if (f.rto == 0) f.rto = std::max<sim::Time>(3 * f.base_rtt, min_rto_);
   f.last_progress_time = sim_.now();
@@ -22,17 +23,13 @@ void Host::start_flow(FlowTx flow) {
   try_send(f);
 }
 
-const FlowTx* Host::flow(FlowId fid) const {
-  auto it = tx_flows_.find(fid);
-  return it == tx_flows_.end() ? nullptr : &it->second;
-}
+const FlowTx* Host::flow(FlowId fid) const { return tx_flows_.find(fid); }
 
-FlowTx* Host::mutable_flow(FlowId fid) {
-  auto it = tx_flows_.find(fid);
-  return it == tx_flows_.end() ? nullptr : &it->second;
-}
+FlowTx* Host::mutable_flow(FlowId fid) { return tx_flows_.find(fid); }
 
 sim::Rate Host::total_send_rate() const {
+  // Flows are visited in start order (insertion order), so this double
+  // accumulation is reproducible run to run.
   sim::Rate sum = 0.0;
   for (const auto& [fid, f] : tx_flows_) {
     if (!f.finished()) sum += std::min(f.rate, f.line_rate);
@@ -81,9 +78,9 @@ void Host::handle_data(Packet&& p) {
 }
 
 void Host::handle_ack(const Packet& p) {
-  auto it = tx_flows_.find(p.flow);
-  if (it == tx_flows_.end()) return;
-  FlowTx& f = it->second;
+  FlowTx* fp = tx_flows_.find(p.flow);
+  if (fp == nullptr) return;
+  FlowTx& f = *fp;
   if (f.finished()) return;
   ++f.acks_received;
 

@@ -10,10 +10,10 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "net/flow.h"
 #include "net/node.h"
+#include "util/ordered_map.h"
 
 namespace fastcc::net {
 
@@ -68,8 +68,10 @@ class Host : public Node {
     sim::Time last_cnp_time = -1;
   };
 
-  std::unordered_map<FlowId, FlowTx> tx_flows_;
-  std::unordered_map<FlowId, RxState> rx_flows_;
+  // Insertion-ordered so that aggregate walks (total_send_rate's double
+  // accumulation) visit flows in start order, not hash order.
+  util::InsertionOrderedMap<FlowId, FlowTx> tx_flows_;
+  util::InsertionOrderedMap<FlowId, RxState> rx_flows_;
   std::size_t active_flows_ = 0;
   CompletionCallback on_complete_;
   sim::Time cnp_interval_ = 50 * sim::kMicrosecond;

@@ -69,10 +69,13 @@ void Node::send_pfc(int in_port, bool pause) {
   frame.pfc_port = reverse.peer_port();
   Node* peer = reverse.peer();
   const int arrival_port = reverse.peer_port();  // valid index on peer
-  sim_.after(reverse.propagation_delay(),
-             [peer, arrival_port, f = std::move(frame)]() mutable {
-               peer->deliver(std::move(f), arrival_port);
-             });
+  auto arrive = [peer, arrival_port, f = std::move(frame)]() mutable {
+    peer->deliver(std::move(f), arrival_port);
+  };
+  static_assert(sim::UniqueFunction::fits_inline<decltype(arrive)>,
+                "PFC delivery closure must stay within the scheduler's inline "
+                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
+  sim_.after(reverse.propagation_delay(), std::move(arrive));
 }
 
 }  // namespace fastcc::net

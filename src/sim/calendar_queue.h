@@ -28,7 +28,7 @@ class CalendarQueue {
   using Id = std::uint64_t;
 
   explicit CalendarQueue(std::size_t initial_buckets = 16,
-                         Time initial_width = 1000);
+                         Time initial_width = 1 * kMicrosecond);
 
   Id schedule(Time at, Callback cb);
   bool cancel(Id id);

@@ -1,0 +1,74 @@
+// InsertionOrderedMap: O(1) keyed lookup with deterministic iteration.
+//
+// fastcc's determinism contract (DESIGN.md "Determinism & unit invariants")
+// forbids iterating hash containers anywhere the visit order can reach event
+// scheduling, floating-point accumulation, or emitted output — hash order
+// depends on the implementation, the allocator, and the insertion history,
+// none of which are part of a simulation's inputs.  This container keeps the
+// hot-path lookup of unordered_map but stores entries in a flat vector in
+// insertion order, which is exactly the order the simulation produced them
+// (and therefore reproducible): iteration walks the vector, never a bucket
+// array.  fastcc-lint's `unordered-iter` check enforces the migration.
+//
+// Trade-offs vs std::unordered_map:
+//   - references/iterators are invalidated by growth (vector storage); do
+//     not hold them across an insert,
+//   - erase is not provided (simulation components retire entries by
+//     flagging them, e.g. FlowTx::finished(), keeping ids stable).
+#pragma once
+
+#include <cstddef>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace fastcc::util {
+
+template <typename Key, typename Value>
+class InsertionOrderedMap {
+ public:
+  using Entry = std::pair<Key, Value>;
+  using iterator = typename std::vector<Entry>::iterator;
+  using const_iterator = typename std::vector<Entry>::const_iterator;
+
+  /// Inserts {key, Value(args...)} if absent.  Returns {pointer, inserted}.
+  template <typename... Args>
+  std::pair<Value*, bool> try_emplace(const Key& key, Args&&... args) {
+    auto [it, inserted] = index_.try_emplace(key, entries_.size());
+    if (inserted) {
+      entries_.emplace_back(std::piecewise_construct,
+                            std::forward_as_tuple(key),
+                            std::forward_as_tuple(std::forward<Args>(args)...));
+    }
+    return {&entries_[it->second].second, inserted};
+  }
+
+  /// Default-constructs the value if absent (unordered_map::operator[]).
+  Value& operator[](const Key& key) { return *try_emplace(key).first; }
+
+  Value* find(const Key& key) {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second].second;
+  }
+  const Value* find(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? nullptr : &entries_[it->second].second;
+  }
+  bool contains(const Key& key) const { return index_.count(key) != 0; }
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  // Iteration is over the insertion-ordered entry vector — deterministic by
+  // construction, independent of hashing.
+  iterator begin() { return entries_.begin(); }
+  iterator end() { return entries_.end(); }
+  const_iterator begin() const { return entries_.begin(); }
+  const_iterator end() const { return entries_.end(); }
+
+ private:
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::size_t> index_;
+};
+
+}  // namespace fastcc::util

@@ -1,0 +1,29 @@
+// fastcc-lint fixture: event-callback hygiene (ref-capture-callback,
+// sbo-capture) and shared-state isolation (mutable-global).  Never
+// compiled — consumed by `tools/fastcc-lint --self-test`.
+
+namespace fastcc::bad {
+
+static int g_total_drops = 0;                             // expect-lint: mutable-global
+static const int kMaxRetries = 5;                         // ok: immutable
+static double g_last_sample;                              // expect-lint: mutable-global
+
+void schedule_unsafe(sim::Simulator& sim) {
+  int completed = 0;
+  sim.after(10 * sim::kMicrosecond, [&] {                 // expect-lint: ref-capture-callback
+    ++completed;
+  });
+  sim.after(20 * sim::kMicrosecond, [&completed] {        // expect-lint: ref-capture-callback
+    ++completed;
+  });
+}
+
+void schedule_moved_payload(sim::Simulator& sim, net::Packet frame) {
+  // No size static_assert near this capture: the payload may silently
+  // exceed the scheduler's inline buffer and take the heap path.
+  sim.after(5 * sim::kMicrosecond, [f = std::move(frame)]() mutable {  // expect-lint: sbo-capture
+    consume(std::move(f));
+  });
+}
+
+}  // namespace fastcc::bad

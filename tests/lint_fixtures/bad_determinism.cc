@@ -1,0 +1,36 @@
+// fastcc-lint fixture: determinism checks (wall-clock, c-rand, adhoc-rng).
+// Never compiled — consumed by `tools/fastcc-lint --self-test`, which
+// asserts each `expect-lint` annotation fires at exactly that line and that
+// nothing else fires.
+
+namespace fastcc::bad {
+
+void wall_clock_sources() {
+  auto boot = std::chrono::system_clock::now();        // expect-lint: wall-clock
+  auto tick = std::chrono::steady_clock::now();        // expect-lint: wall-clock
+  long stamp = time(nullptr);                          // expect-lint: wall-clock
+  struct timeval tv;
+  gettimeofday(&tv, nullptr);                          // expect-lint: wall-clock
+  (void)boot;
+  (void)tick;
+  (void)stamp;
+}
+
+void libc_randomness() {
+  srand(42);                                           // expect-lint: c-rand
+  int draw = rand() % 16;                              // expect-lint: c-rand
+  double jitter = drand48();                           // expect-lint: c-rand
+  (void)draw;
+  (void)jitter;
+}
+
+void adhoc_engines(unsigned seed) {
+  std::mt19937 gen(seed);                              // expect-lint: adhoc-rng
+  std::random_device entropy;                          // expect-lint: adhoc-rng
+  std::uniform_int_distribution<int> pick(0, 7);       // expect-lint: adhoc-rng
+  (void)gen;
+  (void)entropy;
+  (void)pick;
+}
+
+}  // namespace fastcc::bad

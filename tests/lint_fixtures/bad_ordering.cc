@@ -1,0 +1,31 @@
+// fastcc-lint fixture: ordering checks (unordered-iter, ptr-keyed-container).
+// Never compiled — consumed by `tools/fastcc-lint --self-test`.
+
+namespace fastcc::bad {
+
+struct FlowStats {
+  std::unordered_map<int, double> per_flow_bytes;
+  std::unordered_set<int> active_flows;
+};
+
+double sum_goodput(const FlowStats& stats) {
+  double total = 0.0;
+  for (const auto& [id, bytes] : stats.per_flow_bytes) {  // expect-lint: unordered-iter
+    total += bytes;
+  }
+  return total;
+}
+
+int first_active(const FlowStats& stats) {
+  auto it = stats.active_flows.begin();                   // expect-lint: unordered-iter
+  return it != stats.active_flows.end() ? *it : -1;
+}
+
+struct Node {};
+
+// Pointer keys sort by allocation address: iteration order varies run to
+// run under ASLR even though the container itself is "ordered".
+std::map<const Node*, int> queue_depth_by_node;           // expect-lint: ptr-keyed-container
+std::set<Node*> visited;                                  // expect-lint: ptr-keyed-container
+
+}  // namespace fastcc::bad

@@ -1,0 +1,46 @@
+// fastcc-lint fixture: idiomatic code that must produce ZERO findings.
+// Exercises the patterns closest to each check's trigger so the self-test
+// catches false positives.  Never compiled.
+
+namespace fastcc::good {
+
+// Randomness flows through sim::Rng, forked per consumer.
+int pick_egress(sim::Rng& rng, int fanout) {
+  return static_cast<int>(rng.uniform_int(0, fanout - 1));
+}
+
+// Ordered, value-keyed containers iterate deterministically.
+double total_bytes(const std::map<int, double>& per_flow) {
+  double total = 0.0;
+  for (const auto& [id, bytes] : per_flow) total += bytes;
+  (void)sizeof(int[1]);  // array subscript after ']' is not a lambda
+  return total;
+}
+
+// Unit-expressed Time/Rate values; widening to double is fine for stats.
+double fct_microseconds(sim::Time fct) {
+  return static_cast<double>(fct) / static_cast<double>(sim::kMicrosecond);
+}
+
+void schedule_safe(sim::Simulator& sim, net::Packet frame) {
+  const sim::Time poll_interval = 10 * sim::kMicrosecond;
+  const sim::Rate line_rate = sim::gbps(400.0);
+  (void)line_rate;
+
+  // Value captures only; small, unit-expressed delay.
+  sim.after(poll_interval, [count = 0]() mutable { ++count; });
+
+  // Move-init capture with its inline-size guard adjacent.
+  auto deliver = [f = std::move(frame)]() mutable { consume(std::move(f)); };
+  static_assert(sim::UniqueFunction::fits_inline<decltype(deliver)>,
+                "delivery closure must fit the scheduler's inline buffer");
+  sim.after(poll_interval, std::move(deliver));
+
+  // vector::at() is not Simulator::at(): must not trip the capture check
+  // even with a lambda argument in the same expression.
+  std::vector<int> lookup = {1, 2, 3};
+  std::for_each(lookup.begin(), lookup.end(), [&](int v) { consume(v); });
+  (void)lookup.at(0);
+}
+
+}  // namespace fastcc::good

@@ -1,0 +1,84 @@
+#include "util/ordered_map.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace fastcc::util {
+namespace {
+
+TEST(InsertionOrderedMap, IteratesInInsertionOrder) {
+  InsertionOrderedMap<int, std::string> m;
+  // Keys chosen to collide-and-scatter in typical hash layouts: insertion
+  // order, not key order or hash order, must come back out.
+  const int keys[] = {42, 7, 1024, 3, 512, 9};
+  for (int k : keys) m.try_emplace(k, "v" + std::to_string(k));
+
+  std::vector<int> seen;
+  for (const auto& [k, v] : m) {
+    seen.push_back(k);
+    EXPECT_EQ(v, "v" + std::to_string(k));
+  }
+  EXPECT_EQ(seen, std::vector<int>(std::begin(keys), std::end(keys)));
+}
+
+TEST(InsertionOrderedMap, TryEmplaceIsFirstWriterWins) {
+  InsertionOrderedMap<int, std::string> m;
+  auto [first, inserted1] = m.try_emplace(5, "first");
+  EXPECT_TRUE(inserted1);
+  auto [again, inserted2] = m.try_emplace(5, "second");
+  EXPECT_FALSE(inserted2);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(*again, "first");
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(InsertionOrderedMap, FindReturnsNullForMissing) {
+  InsertionOrderedMap<int, double> m;
+  EXPECT_EQ(m.find(1), nullptr);
+  m.try_emplace(1, 2.5);
+  ASSERT_NE(m.find(1), nullptr);
+  EXPECT_EQ(*m.find(1), 2.5);
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_TRUE(m.contains(1));
+  EXPECT_FALSE(m.contains(2));
+
+  const auto& cm = m;
+  ASSERT_NE(cm.find(1), nullptr);
+  EXPECT_EQ(cm.find(2), nullptr);
+}
+
+TEST(InsertionOrderedMap, SubscriptDefaultConstructs) {
+  InsertionOrderedMap<std::string, int> m;
+  EXPECT_EQ(m["a"], 0);
+  m["a"] = 7;
+  m["b"] = 9;
+  EXPECT_EQ(m["a"], 7);
+  EXPECT_EQ(m.size(), 2u);
+}
+
+TEST(InsertionOrderedMap, MoveOnlyValues) {
+  InsertionOrderedMap<int, std::unique_ptr<int>> m;
+  auto [slot, inserted] = m.try_emplace(1, std::make_unique<int>(41));
+  ASSERT_TRUE(inserted);
+  **slot += 1;
+  EXPECT_EQ(**m.find(1), 42);
+}
+
+TEST(InsertionOrderedMap, StableOrderAcrossGrowth) {
+  InsertionOrderedMap<int, int> m;
+  const int n = 10'000;  // forces many rehashes of the index and vector growth
+  for (int i = 0; i < n; ++i) m.try_emplace(i * 7 + 3, i);
+  int expected = 0;
+  for (const auto& [k, v] : m) {
+    EXPECT_EQ(k, expected * 7 + 3);
+    EXPECT_EQ(v, expected);
+    ++expected;
+  }
+  EXPECT_EQ(expected, n);
+}
+
+}  // namespace
+}  // namespace fastcc::util

@@ -51,6 +51,46 @@ TEST(ParallelRunner, SingleThreadFallback) {
   }
 }
 
+// The determinism contract: a sweep's results are a pure function of its
+// configs, independent of how many workers executed it.  Compares every
+// observable of every run — full per-flow timings and the sampled series,
+// not just summary counters — across worker counts.
+TEST(ParallelRunner, ThreadCountInvariance) {
+  const auto configs = sweep_configs();
+  const auto baseline = run_incast_parallel(configs, 1);
+  for (int threads : {2, 8}) {
+    const auto got = run_incast_parallel(configs, threads);
+    ASSERT_EQ(got.size(), baseline.size()) << "threads=" << threads;
+    for (std::size_t i = 0; i < baseline.size(); ++i) {
+      SCOPED_TRACE("threads=" + std::to_string(threads) +
+                   " config=" + std::to_string(i));
+      const IncastResult& a = baseline[i];
+      const IncastResult& b = got[i];
+      EXPECT_EQ(b.events_executed, a.events_executed);
+      EXPECT_EQ(b.completion_time, a.completion_time);
+      EXPECT_EQ(b.drops, a.drops);
+      ASSERT_EQ(b.flows.size(), a.flows.size());
+      for (std::size_t f = 0; f < a.flows.size(); ++f) {
+        EXPECT_EQ(b.flows[f].id, a.flows[f].id);
+        EXPECT_EQ(b.flows[f].start, a.flows[f].start);
+        EXPECT_EQ(b.flows[f].finish, a.flows[f].finish);
+      }
+      ASSERT_EQ(b.jain.size(), a.jain.size());
+      for (std::size_t p = 0; p < a.jain.points().size(); ++p) {
+        EXPECT_EQ(b.jain.points()[p].t, a.jain.points()[p].t);
+        // Bit-identical, not approximately equal: double accumulation order
+        // must not depend on the worker count.
+        EXPECT_EQ(b.jain.points()[p].value, a.jain.points()[p].value);
+      }
+      ASSERT_EQ(b.queue_bytes.size(), a.queue_bytes.size());
+      for (std::size_t p = 0; p < a.queue_bytes.points().size(); ++p) {
+        EXPECT_EQ(b.queue_bytes.points()[p].t, a.queue_bytes.points()[p].t);
+        EXPECT_EQ(b.queue_bytes.points()[p].value, a.queue_bytes.points()[p].value);
+      }
+    }
+  }
+}
+
 TEST(ParallelRunner, EmptySweepIsFine) {
   EXPECT_TRUE(run_incast_parallel({}, 4).empty());
 }

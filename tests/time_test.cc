@@ -33,6 +33,46 @@ TEST(Time, SerializationRoundsUpNeverDown) {
   EXPECT_EQ(serialization_time(0, gbps(100)), 0);
 }
 
+TEST(Time, SerializationGuardsDegenerateInputs) {
+  // Non-positive byte counts cost zero time.
+  EXPECT_EQ(serialization_time(0, gbps(100)), 0);
+  EXPECT_EQ(serialization_time(-1, gbps(100)), 0);
+  EXPECT_EQ(serialization_time(-1'000'000, gbps(100)), 0);
+  // A zero or negative rate means "this link never finishes": kMaxTime, not
+  // the UB of casting an infinite double to int64.
+  EXPECT_EQ(serialization_time(1000, 0.0), kMaxTime);
+  EXPECT_EQ(serialization_time(1000, -12.5), kMaxTime);
+  EXPECT_EQ(serialization_time(1, 0.0), kMaxTime);
+}
+
+TEST(Time, SerializationSaturatesInsteadOfOverflowing) {
+  // A huge transfer over a denormal-slow link exceeds the Time range; the
+  // result clamps to kMaxTime instead of wrapping.
+  const Rate crawl = 1e-12;  // ~one byte per 1000 s
+  EXPECT_EQ(serialization_time((std::int64_t{1} << 62), crawl), kMaxTime);
+  // Just inside the representable range still computes normally: 1e6 B at
+  // 1e-12 B/ns is ~1e18 ns, comfortably below kMaxTime (~9.2e18).
+  const Time huge = serialization_time(1'000'000, crawl);
+  EXPECT_LT(huge, kMaxTime);
+  EXPECT_GT(huge, Time{900'000'000'000'000'000});
+}
+
+TEST(Time, SerializationCeilContract) {
+  // ceil(bytes / rate): result * rate >= bytes and (result-1) * rate < bytes
+  // for every sampled operating point.
+  const std::int64_t sizes[] = {1, 63, 64, 1000, 1048, 4096, 1'000'000};
+  const Rate rates[] = {gbps(10), gbps(25), gbps(100), gbps(400), 3.0, 7.0};
+  for (std::int64_t bytes : sizes) {
+    for (Rate rate : rates) {
+      const Time t = serialization_time(bytes, rate);
+      EXPECT_GE(static_cast<double>(t) * rate, static_cast<double>(bytes))
+          << bytes << " B @ " << rate << " B/ns";
+      EXPECT_LT(static_cast<double>(t - 1) * rate, static_cast<double>(bytes))
+          << bytes << " B @ " << rate << " B/ns";
+    }
+  }
+}
+
 TEST(Time, SerializationScalesLinearly) {
   const Time one = serialization_time(1000, gbps(100));
   const Time ten = serialization_time(10000, gbps(100));
