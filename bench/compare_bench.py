@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Compare a fresh benchmark run against the committed BENCH_core.json.
+
+Guards the perf trajectory in CI: a fresh run of the core microbenchmarks
+must not regress events/sec by more than the threshold on any benchmark
+that both files share.  Benchmarks present in only one file (renamed,
+added, retired) are reported but never fail the gate, so adding a new
+benchmark does not require regenerating the baseline in the same commit.
+
+Usage:
+    bench/compare_bench.py BASELINE.json FRESH.json [--threshold 0.15]
+
+Both files use the schema emitted by bench/run_core_bench.sh:
+    {"benchmarks": [{"name": ..., "events_per_second": ...}, ...]}
+FRESH.json may also be raw google-benchmark JSON ({"benchmarks":
+[{"name": ..., "items_per_second": ...}]}); both spellings are accepted.
+
+Exit status: 0 on pass, 1 on regression beyond threshold, 2 on bad input.
+Stdlib only — no third-party dependencies.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_rates(path):
+    """Returns {benchmark name: events/sec} for one results file."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+    rates = {}
+    for b in doc.get("benchmarks", []):
+        rate = b.get("events_per_second", b.get("items_per_second"))
+        name = b.get("name")
+        # Skip aggregate rows (mean/median/stddev) and rate-less benchmarks.
+        if name is None or rate is None or b.get("run_type") == "aggregate":
+            continue
+        rates[name] = float(rate)
+    if not rates:
+        print(f"error: no benchmarks with rates in {path}", file=sys.stderr)
+        sys.exit(2)
+    return rates
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed BENCH_core.json")
+    parser.add_argument("fresh", help="fresh run (run_core_bench.sh output "
+                        "or raw google-benchmark JSON)")
+    parser.add_argument("--threshold", type=float, default=0.15,
+                        help="max allowed fractional events/sec drop "
+                        "(default: 0.15)")
+    args = parser.parse_args()
+
+    base = load_rates(args.baseline)
+    fresh = load_rates(args.fresh)
+    shared = sorted(base.keys() & fresh.keys())
+    if not shared:
+        print("error: baseline and fresh run share no benchmark names",
+              file=sys.stderr)
+        return 2
+
+    failures = []
+    for name in shared:
+        ratio = fresh[name] / base[name]
+        verdict = "ok"
+        if ratio < 1.0 - args.threshold:
+            verdict = "REGRESSION"
+            failures.append(name)
+        print(f"{verdict:>10}  {name}: {base[name]:,.0f} -> "
+              f"{fresh[name]:,.0f} events/s ({ratio - 1.0:+.1%} vs baseline)")
+
+    for name in sorted(base.keys() - fresh.keys()):
+        print(f"{'missing':>10}  {name}: in baseline only (not compared)")
+    for name in sorted(fresh.keys() - base.keys()):
+        print(f"{'new':>10}  {name}: in fresh run only (not compared)")
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} benchmark(s) regressed more than "
+              f"{args.threshold:.0%}: {', '.join(failures)}", file=sys.stderr)
+        return 1
+    print(f"\nPASS: {len(shared)} shared benchmark(s) within "
+          f"{args.threshold:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

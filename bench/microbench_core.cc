@@ -6,8 +6,10 @@
 
 #include "core/fairness.h"
 #include "core/fluid_model.h"
+#include "experiments/datacenter.h"
 #include "experiments/incast.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
 #include "sim/random.h"
@@ -71,10 +73,11 @@ void BM_CalendarQueueRollingHorizon(benchmark::State& state) {
 BENCHMARK(BM_EventQueueRollingHorizon)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_CalendarQueueRollingHorizon)->Unit(benchmark::kMillisecond);
 
-// Rolling horizon with the simulator's *actual* hot closure shape: a Packet
-// (full INT stack, ~330 bytes) moved into the callback plus a pointer, as in
-// Port::maybe_start_tx / finish_tx.  This is the workload the small-buffer
-// optimization targets.
+// Rolling horizon with the simulator's *actual* hot closure shape: the
+// packet lives in a pool slot and the callback carries only {pool pointer,
+// 4-byte handle, context pointer}, exactly what Port::start_tx schedules.
+// This is the workload the zero-copy pipeline targets: the event slot holds
+// 24 bytes instead of a ~330-byte Packet with its INT stack.
 template <typename Queue>
 void rolling_horizon_packet(benchmark::State& state) {
   const int population = 4096;
@@ -82,23 +85,26 @@ void rolling_horizon_packet(benchmark::State& state) {
   for (auto _ : state) {
     Queue q;
     sim::Time now = 0;
-    net::Packet seed_pkt =
-        net::make_data(/*flow=*/1, /*src=*/0, /*dst=*/1, /*seq=*/0,
-                       /*payload=*/1000, /*now=*/0);
-    seed_pkt.int_count = net::kMaxHops;  // worst-case INT stack in flight
-    for (int i = 0; i < population; ++i) {
-      q.schedule(i % 500, [pkt = seed_pkt, &sink]() mutable {
-        sink += pkt.seq + pkt.wire_bytes;
-      });
-    }
+    net::PacketPool pool;
+    const net::PacketRef ref = pool.alloc();
+    net::init_data(pool.get(ref), /*flow=*/1, /*src=*/0, /*dst=*/1,
+                   /*seq=*/0, /*payload=*/1000, /*now=*/0);
+    pool.get(ref).int_count = net::kMaxHops;  // full INT stack in the slot
+    net::PacketPool* pp = &pool;
+    std::uint64_t* out = &sink;
+    auto hop = [pp, ref, out] {
+      const net::Packet& p = pp->get(ref);
+      *out += p.seq + p.wire_bytes;
+    };
+    static_assert(sizeof(hop) <= 24, "per-hop closure must be handle-sized");
+    for (int i = 0; i < population; ++i) q.schedule(i % 500, hop);
     for (int i = 0; i < 100'000; ++i) {
       now = q.pop_and_run();
-      seed_pkt.seq += 1000;
-      q.schedule(now + 80 + (i * 37) % 400, [pkt = seed_pkt, &sink]() mutable {
-        sink += pkt.seq + pkt.wire_bytes;
-      });
+      pool.get(ref).seq += 1000;
+      q.schedule(now + 80 + (i * 37) % 400, hop);
     }
     while (!q.empty()) q.pop_and_run();
+    pool.release(ref);
   }
   benchmark::DoNotOptimize(sink);
   state.SetItemsProcessed(state.iterations() * 100'000);
@@ -227,6 +233,30 @@ void BM_IncastEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_IncastEndToEnd)->Arg(8)->Arg(16)->Unit(benchmark::kMillisecond);
+
+/// End-to-end figure over the multi-hop topology: Poisson CDF-driven traffic
+/// on the scaled fat-tree (the Figure 10 shape at CI size), reported as
+/// simulated events per second.  Exercises every layer the zero-copy
+/// pipeline touches: pooled packets crossing 6 links, ECMP switch
+/// forwarding, fused per-hop delivery events, PFC/INT bookkeeping, and the
+/// ACK reverse path.
+void BM_FatTreeEndToEnd(benchmark::State& state) {
+  const double load = static_cast<double>(state.range(0)) / 100.0;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::DatacenterConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.topo = topo::scaled_fat_tree();
+    config.components = {{&workload::hadoop_cdf(), 1.0}};
+    config.load = load;
+    config.generate_duration = 200 * sim::kMicrosecond;
+    const exp::DatacenterResult r = run_datacenter(config);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.flows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FatTreeEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -24,7 +24,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 "$BIN" \
-  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd' \
+  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd|FatTreeEndToEnd' \
   --benchmark_format=json >"$RAW"
 
 jq --arg rev "$GIT_REV" '{

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <functional>
+#include <map>
 #include <string>
+#include <utility>
 
 #include "stats/percentile.h"
 
@@ -97,10 +99,23 @@ IncastResult run_incast(const IncastConfig& config) {
     });
   }
 
+  // Paths are stored in a node-stable ordered map that outlives the
+  // schedule, so flow-start closures can capture `const PathInfo&` (8 bytes)
+  // instead of a by-value PathInfo and stay within the scheduler's inline
+  // buffer.
+  std::map<std::pair<net::NodeId, net::NodeId>, net::PathInfo> path_cache;
+  auto path_of = [&](net::NodeId src, net::NodeId dst) -> const net::PathInfo& {
+    auto key = std::make_pair(src, dst);
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      it = path_cache.emplace(key, network.path(src, dst)).first;
+    }
+    return it->second;
+  };
+
   // Schedule probe flows from the dedicated prober host.
   if (prober != nullptr) {
-    const net::PathInfo probe_path =
-        network.path(prober->id(), receiver->id());
+    const net::PathInfo& probe_path = path_of(prober->id(), receiver->id());
     for (int i = 0; i < config.probe_count; ++i) {
       net::FlowSpec spec;
       spec.id = first_probe_id + static_cast<net::FlowId>(i);
@@ -108,11 +123,13 @@ IncastResult run_incast(const IncastConfig& config) {
       spec.dst = receiver->id();
       spec.size_bytes = config.probe_bytes;
       spec.start_time = (i + 1) * config.probe_interval;
-      // config/factory outlive the schedule: simulator.run() below drains
-      // every probe-start event before this scope exits.
+      // config/factory/probe_path outlive the schedule: simulator.run()
+      // below drains every probe-start event before this scope exits.  The
+      // path is captured by reference so the closure stays within the
+      // scheduler's 64-byte inline buffer.
       simulator.at(spec.start_time,
                    // lint:allow(ref-capture-callback -- run() drains first)
-                   [&config, &factory, prober, spec, probe_path] {
+                   [&config, &factory, prober, spec, &probe_path] {
                      net::FlowTx flow;
                      flow.spec = spec;
                      flow.line_rate = prober->port(0).bandwidth();
@@ -129,9 +146,9 @@ IncastResult run_incast(const IncastConfig& config) {
   for (const net::FlowSpec& spec : specs) {
     net::Host* src = star.hosts[spec.src - star.hosts.front()->id()];
     assert(src->id() == spec.src);
-    const net::PathInfo path = network.path(spec.src, spec.dst);
+    const net::PathInfo& path = path_of(spec.src, spec.dst);
     // lint:allow(ref-capture-callback -- run() drains before scope exit)
-    simulator.at(spec.start_time, [&config, &factory, src, spec, path] {
+    simulator.at(spec.start_time, [&config, &factory, src, spec, &path] {
       net::FlowTx flow;
       flow.spec = spec;
       flow.line_rate = src->port(0).bandwidth();

@@ -37,12 +37,13 @@ sim::Rate Host::total_send_rate() const {
   return sum;
 }
 
-void Host::receive(Packet&& p, int in_port) {
+void Host::receive(PacketRef ref, int in_port) {
   (void)in_port;
+  const Packet& p = packet_pool()->get(ref);
   consume(p);  // release PFC ingress accounting: hosts sink packets
   switch (p.type) {
     case PacketType::kData:
-      handle_data(std::move(p));
+      handle_data(p);
       break;
     case PacketType::kAck:
       handle_ack(p);
@@ -50,9 +51,10 @@ void Host::receive(Packet&& p, int in_port) {
     default:
       break;  // PFC frames are handled in Node::deliver
   }
+  packet_pool()->release(ref);
 }
 
-void Host::handle_data(Packet&& p) {
+void Host::handle_data(const Packet& p) {
   assert(p.dst == id());
   RxState& rx = rx_flows_[p.flow];
   rx.bytes_received += p.payload_bytes;
@@ -63,7 +65,11 @@ void Host::handle_data(Packet&& p) {
                                               p.seq + p.payload_bytes);
   }
 
-  Packet ack = make_ack(p, sim_.now());
+  // The ACK is born in the pool; `p` stays valid across the alloc (chunked
+  // slot storage never relocates).
+  const PacketRef ack_ref = packet_pool()->alloc();
+  Packet& ack = packet_pool()->get(ack_ref);
+  init_ack(ack, p, sim_.now());
   ack.seq = rx.expected_seq;  // cumulative ACK
   // DCQCN: at most one congestion-notification per flow per cnp_interval_.
   if (p.ecn) {
@@ -74,7 +80,7 @@ void Host::handle_data(Packet&& p) {
     }
   }
   assert(port_count() > 0 && port(0).connected());
-  port(0).enqueue(std::move(ack));
+  port(0).enqueue(ack_ref);
 }
 
 void Host::handle_ack(const Packet& p) {
@@ -145,17 +151,20 @@ void Host::try_send(FlowTx& f) {
       arm_pacing_timer(f, f.next_tx_time);
       return;
     }
-    Packet p = make_data(f.spec.id, f.spec.src, f.spec.dst, f.snd_nxt, payload,
-                         sim_.now());
+    // Allocate once, here at the sender; downstream the packet travels only
+    // as a PacketRef handle.
+    const PacketRef ref = packet_pool()->alloc();
+    init_data(packet_pool()->get(ref), f.spec.id, f.spec.src, f.spec.dst,
+              f.snd_nxt, payload, sim_.now());
     f.snd_nxt += payload;
     // Pace on wire bytes at the flow's current rate (capped at line rate —
     // the NIC cannot serialize faster even if CC asks for more).
     const sim::Rate pace = std::min(f.rate, f.line_rate);
     assert(pace > 0.0);
     f.next_tx_time = std::max(f.next_tx_time, sim_.now()) +
-                     sim::serialization_time(p.wire_bytes, pace);
+                     sim::serialization_time(payload + kHeaderBytes, pace);
     assert(port_count() > 0 && port(0).connected());
-    port(0).enqueue(std::move(p));
+    port(0).enqueue(ref);
     arm_rto_timer(f);
   }
 }

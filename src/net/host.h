@@ -51,10 +51,10 @@ class Host : public Node {
   sim::Rate total_send_rate() const;
 
  protected:
-  void receive(Packet&& p, int in_port) override;
+  void receive(PacketRef ref, int in_port) override;
 
  private:
-  void handle_data(Packet&& p);
+  void handle_data(const Packet& p);
   void handle_ack(const Packet& p);
   void try_send(FlowTx& f);
   void arm_pacing_timer(FlowTx& f, sim::Time when);

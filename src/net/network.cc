@@ -12,6 +12,7 @@ Network::Network(sim::Simulator& simulator, std::uint64_t seed)
 Host* Network::add_host(const std::string& name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   auto host = std::make_unique<Host>(sim_, id, name);
+  host->set_packet_pool(&pool_);
   Host* raw = host.get();
   nodes_.push_back(std::move(host));
   hosts_.push_back(raw);
@@ -21,6 +22,7 @@ Host* Network::add_host(const std::string& name) {
 SwitchNode* Network::add_switch(const std::string& name) {
   const NodeId id = static_cast<NodeId>(nodes_.size());
   auto sw = std::make_unique<SwitchNode>(sim_, id, name);
+  sw->set_packet_pool(&pool_);
   SwitchNode* raw = sw.get();
   nodes_.push_back(std::move(sw));
   switches_.push_back(raw);

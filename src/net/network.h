@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "net/host.h"
+#include "net/packet_pool.h"
 #include "net/switch_node.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
@@ -65,12 +66,18 @@ class Network {
   sim::Rng& rng() { return rng_; }
   sim::Simulator& simulator() { return sim_; }
 
+  /// The shared packet arena every node in this network allocates from.
+  /// Exposed for leak checks (a drained simulation must have live() == 0).
+  PacketPool& packet_pool() { return pool_; }
+  const PacketPool& packet_pool() const { return pool_; }
+
  private:
   /// BFS distances (in hops) from `dst` over the undirected link graph.
   std::vector<int> hop_distances(NodeId dst) const;
 
   sim::Simulator& sim_;
   sim::Rng rng_;
+  PacketPool pool_;
   std::vector<std::unique_ptr<Node>> nodes_;
   std::vector<Host*> hosts_;
   std::vector<SwitchNode*> switches_;

@@ -11,23 +11,32 @@ Node::Node(sim::Simulator& simulator, NodeId id, std::string name)
 int Node::add_port() {
   const int idx = static_cast<int>(ports_.size());
   ports_.push_back(std::make_unique<Port>(sim_, this, idx));
+  ports_.back()->set_packet_pool(pool_);
   ingress_bytes_.push_back(0);
   ingress_paused_.push_back(false);
   return idx;
 }
 
-void Node::deliver(Packet&& p, int in_port) {
+void Node::set_packet_pool(PacketPool* pool) {
+  pool_ = pool;
+  for (auto& p : ports_) p->set_packet_pool(pool);
+}
+
+void Node::deliver(PacketRef ref, int in_port) {
   assert(in_port >= 0 && in_port < port_count());
+  assert(pool_ != nullptr && "node has no packet pool bound");
+  Packet& p = pool_->get(ref);
   // PFC control frames act directly on the reverse-direction transmitter and
-  // never enter queues.
+  // never enter queues; their pool slot is recycled on the spot.
   if (p.type == PacketType::kPfcPause || p.type == PacketType::kPfcResume) {
     assert(p.pfc_port >= 0 && p.pfc_port < port_count());
     ports_[p.pfc_port]->set_paused(p.type == PacketType::kPfcPause);
+    pool_->release(ref);
     return;
   }
   p.ingress_port = in_port;
   pfc_account(in_port, static_cast<std::int64_t>(p.wire_bytes));
-  receive(std::move(p), in_port);
+  receive(ref, in_port);
 }
 
 void Node::on_packet_departed(const Packet& p) {
@@ -62,19 +71,20 @@ void Node::send_pfc(int in_port, bool pause) {
   Port& reverse = *ports_[in_port];
   if (!reverse.connected()) return;
   // PFC frames are tiny and sent at highest priority; model them as arriving
-  // after one propagation delay without consuming queue space.
-  Packet frame;
+  // after one propagation delay without consuming queue space.  The frame is
+  // pool-allocated (chunked storage: any Packet& the caller holds across
+  // this alloc stays valid) and released by the peer's deliver().
+  const PacketRef ref = pool_->alloc();
+  Packet& frame = pool_->get(ref);
   frame.type = pause ? PacketType::kPfcPause : PacketType::kPfcResume;
   frame.wire_bytes = 64;
   frame.pfc_port = reverse.peer_port();
   Node* peer = reverse.peer();
   const int arrival_port = reverse.peer_port();  // valid index on peer
-  auto arrive = [peer, arrival_port, f = std::move(frame)]() mutable {
-    peer->deliver(std::move(f), arrival_port);
-  };
-  static_assert(sim::UniqueFunction::fits_inline<decltype(arrive)>,
-                "PFC delivery closure must stay within the scheduler's inline "
-                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
+  auto arrive = [peer, ref, arrival_port] { peer->deliver(ref, arrival_port); };
+  static_assert(
+      sizeof(arrive) <= 24 && sim::UniqueFunction::fits_inline<decltype(arrive)>,
+      "PFC delivery must stay a handle-sized inline closure");
   sim_.after(reverse.propagation_delay(), std::move(arrive));
 }
 

@@ -2,7 +2,9 @@
 //
 // A node owns its egress ports and the PFC ingress accounting shared by all
 // node types.  Packet arrival flows through deliver(), which updates PFC
-// state and hands the packet to the subclass via receive().
+// state and hands the packet to the subclass via receive().  Packets live in
+// a shared PacketPool (owned by the Network, or bound explicitly in tests)
+// and travel as 4-byte PacketRef handles.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "net/port.h"
 #include "sim/simulator.h"
 
@@ -43,19 +46,27 @@ class Node {
 
   void set_pfc(const PfcParams& pfc) { pfc_ = pfc; }
 
+  /// Binds the shared packet arena.  Every node wired into the same fabric
+  /// must share one pool — handles cross node boundaries.  Network does this
+  /// automatically; standalone test harnesses bind explicitly.
+  void set_packet_pool(PacketPool* pool);
+  PacketPool* packet_pool() { return pool_; }
+
   /// Entry point for packets arriving off the wire.  `in_port` is the index
   /// of this node's reverse-direction port for the arrival link.
-  void deliver(Packet&& p, int in_port);
+  void deliver(PacketRef ref, int in_port);
 
-  /// Called by a Port when a packet starts serialization and thus leaves the
-  /// node's buffer: releases the PFC ingress accounting.
+  /// Called by a Port when a packet starts serialization (or dies in a tail
+  /// drop) and thus leaves the node's buffer: releases the PFC ingress
+  /// accounting.
   void on_packet_departed(const Packet& p);
 
   sim::Simulator& simulator() { return sim_; }
 
  protected:
   /// Subclass packet handling (forwarding for switches, host protocol).
-  virtual void receive(Packet&& p, int in_port) = 0;
+  /// The callee owns the handle: forward it or release it.
+  virtual void receive(PacketRef ref, int in_port) = 0;
 
   /// Consumes a packet at this node (hosts): releases PFC accounting.
   void consume(const Packet& p);
@@ -69,6 +80,7 @@ class Node {
   NodeId id_;
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
+  PacketPool* pool_ = nullptr;
 
   PfcParams pfc_;
   std::vector<std::uint64_t> ingress_bytes_;

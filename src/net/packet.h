@@ -80,12 +80,32 @@ struct Packet {
   }
 
   bool is_control() const { return type != PacketType::kData; }
+
+  /// Resets every header field to its default without touching the INT
+  /// array: records at index >= int_count are never read, so a recycled
+  /// pool slot skips the 256-byte wipe.  PacketPool::alloc calls this.
+  void reset_header() {
+    type = PacketType::kData;
+    flow = 0;
+    src = kInvalidNode;
+    dst = kInvalidNode;
+    seq = 0;
+    payload_bytes = 0;
+    wire_bytes = 0;
+    ecn = false;
+    cnp = false;
+    host_ts = 0;
+    ack_ts = 0;
+    int_count = 0;
+    pfc_port = -1;
+    ingress_port = -1;
+  }
 };
 
-/// Builds a data packet for `flow` covering [seq, seq+payload).
-inline Packet make_data(FlowId flow, NodeId src, NodeId dst, std::uint64_t seq,
-                        std::uint32_t payload, sim::Time now) {
-  Packet p;
+/// Fills a freshly reset pool packet in place as a data packet for `flow`
+/// covering [seq, seq+payload).  Zero-copy counterpart of make_data.
+inline void init_data(Packet& p, FlowId flow, NodeId src, NodeId dst,
+                      std::uint64_t seq, std::uint32_t payload, sim::Time now) {
   p.type = PacketType::kData;
   p.flow = flow;
   p.src = src;
@@ -94,13 +114,13 @@ inline Packet make_data(FlowId flow, NodeId src, NodeId dst, std::uint64_t seq,
   p.payload_bytes = payload;
   p.wire_bytes = payload + kHeaderBytes;
   p.host_ts = now;
-  return p;
 }
 
-/// Builds the ACK for a received data packet (reverse direction), stamped
-/// with the receiver's generation time `now`.
-inline Packet make_ack(const Packet& data, sim::Time now) {
-  Packet a;
+/// Fills a freshly reset pool packet in place as the ACK for a received data
+/// packet (reverse direction), stamped with the receiver's generation time
+/// `now`.  Echoes only the populated INT records — the rest of the stack is
+/// never read.  Zero-copy counterpart of make_ack.
+inline void init_ack(Packet& a, const Packet& data, sim::Time now) {
   a.type = PacketType::kAck;
   a.flow = data.flow;
   a.src = data.dst;
@@ -111,11 +131,26 @@ inline Packet make_ack(const Packet& data, sim::Time now) {
   a.ecn = data.ecn;
   a.host_ts = data.host_ts;  // echo for RTT measurement
   a.ack_ts = now;
-  // Echo only the populated INT records; the remainder of the fresh stack is
-  // already zero, so copying the full kMaxHops array would be wasted work on
-  // every ACK.
   for (std::uint8_t i = 0; i < data.int_count; ++i) a.ints[i] = data.ints[i];
   a.int_count = data.int_count;
+}
+
+/// Builds a data packet for `flow` covering [seq, seq+payload).  Convenience
+/// for tests and standalone tools; the hot path uses init_data on a pool
+/// slot instead.
+inline Packet make_data(FlowId flow, NodeId src, NodeId dst, std::uint64_t seq,
+                        std::uint32_t payload, sim::Time now) {
+  Packet p;
+  init_data(p, flow, src, dst, seq, payload, now);
+  return p;
+}
+
+/// Builds the ACK for a received data packet (reverse direction), stamped
+/// with the receiver's generation time `now`.  Convenience for tests; the
+/// hot path uses init_ack on a pool slot instead.
+inline Packet make_ack(const Packet& data, sim::Time now) {
+  Packet a;
+  init_ack(a, data, now);
   return a;
 }
 

@@ -1,7 +1,6 @@
 #include "net/port.h"
 
 #include <cassert>
-#include <optional>
 #include <utility>
 
 #include "net/node.h"
@@ -20,10 +19,17 @@ void Port::connect(Node* peer, int peer_port, sim::Rate bandwidth,
   prop_delay_ = propagation_delay;
 }
 
-void Port::enqueue(Packet&& p) {
+void Port::enqueue(PacketRef ref) {
   assert(connected() && "enqueue on unconnected port");
+  assert(pool_ != nullptr && "port has no packet pool bound");
+  Packet& p = pool_->get(ref);
   if (queued_bytes_ + p.wire_bytes > buffer_limit_) {
     ++drops_;
+    // The packet dies here, so its PFC ingress accounting must be released
+    // with it — otherwise the upstream port stays paused forever once the
+    // leaked bytes pin the count above the resume threshold.
+    owner_->on_packet_departed(p);
+    pool_->release(ref);
     return;
   }
   // RED/ECN marking happens against the *data* backlog at enqueue time, the
@@ -45,12 +51,15 @@ void Port::enqueue(Packet&& p) {
     if (data_queued_bytes_ > max_queued_bytes_)
       max_queued_bytes_ = data_queued_bytes_;
   }
-  if (p.is_control()) {
-    high_q_.push_back(std::move(p));
-  } else {
-    low_q_.push_back(std::move(p));
-  }
+  (p.is_control() ? high_q_ : low_q_).push_back(ref);
   maybe_start_tx();
+}
+
+void Port::enqueue(Packet&& p) {
+  assert(pool_ != nullptr && "port has no packet pool bound");
+  const PacketRef ref = pool_->alloc();
+  pool_->get(ref) = std::move(p);
+  enqueue(ref);
 }
 
 void Port::set_paused(bool paused) {
@@ -60,14 +69,35 @@ void Port::set_paused(bool paused) {
 }
 
 void Port::maybe_start_tx() {
-  if (busy_ || paused_) return;
+  if (paused_) return;
   if (high_q_.empty() && low_q_.empty()) return;
+  if (sim_.now() < wire_free_time_) {
+    // A packet is still serializing; re-check the moment the wire frees up.
+    arm_kick();
+    return;
+  }
+  start_tx();
+}
 
+void Port::arm_kick() {
+  if (kick_armed_) return;
+  kick_armed_ = true;
+  auto kick = [this] {
+    kick_armed_ = false;
+    maybe_start_tx();
+  };
+  static_assert(sizeof(kick) <= 24 && sim::UniqueFunction::fits_inline<decltype(kick)>,
+                "dequeue kick must stay a handle-sized inline closure");
+  sim_.at(wire_free_time_, std::move(kick));
+}
+
+void Port::start_tx() {
   // Dequeue at transmission *start* so a control packet arriving mid-
   // serialization cannot displace the packet already on the wire.
-  std::deque<Packet>& next_q = !high_q_.empty() ? high_q_ : low_q_;
-  Packet p = std::move(next_q.front());
+  PacketRing& next_q = !high_q_.empty() ? high_q_ : low_q_;
+  const PacketRef ref = next_q.front();
   next_q.pop_front();
+  Packet& p = pool_->get(ref);
   queued_bytes_ -= p.wire_bytes;
   if (p.type == PacketType::kData) data_queued_bytes_ -= p.wire_bytes;
   tx_bytes_ += p.wire_bytes;
@@ -86,30 +116,25 @@ void Port::maybe_start_tx() {
   // The packet has left this node's buffer: release PFC accounting.
   owner_->on_packet_departed(p);
 
-  busy_ = true;
   const sim::Time tx_time = sim::serialization_time(p.wire_bytes, bandwidth_);
-  auto done = [this, pkt = std::move(p)]() mutable { finish_tx(std::move(pkt)); };
-  static_assert(sim::UniqueFunction::fits_inline<decltype(done)>,
-                "per-hop tx closure must stay within the scheduler's inline "
-                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
-  sim_.after(tx_time, std::move(done));
-}
+  wire_free_time_ = sim_.now() + tx_time;
 
-void Port::finish_tx(Packet&& p) {
-  assert(busy_);
-  // Hand the packet to the wire: it arrives after the propagation delay.
+  // Fused per-hop event: the peer's delivery is scheduled directly at
+  // tx_time + prop_delay — the packet rides as a 4-byte handle, and no
+  // separate end-of-serialization event exists.
   Node* peer = peer_;
   const int in_port = peer_port_;
-  auto arrive = [peer, in_port, pkt = std::move(p)]() mutable {
-    peer->deliver(std::move(pkt), in_port);
-  };
-  static_assert(sim::UniqueFunction::fits_inline<decltype(arrive)>,
-                "propagation closure must stay within the scheduler's inline "
-                "buffer; grow UniqueFunction::kInlineSize if Packet grew");
-  sim_.after(prop_delay_, std::move(arrive));
+  auto arrive = [peer, ref, in_port] { peer->deliver(ref, in_port); };
+  static_assert(
+      sizeof(arrive) <= 24 && sim::UniqueFunction::fits_inline<decltype(arrive)>,
+      "per-hop delivery must stay a handle-sized inline closure (node "
+      "pointer + PacketRef + port), never a by-value Packet");
+  sim_.after(tx_time + prop_delay_, std::move(arrive));
 
-  busy_ = false;
-  maybe_start_tx();
+  // Self-schedule the next dequeue at the end of this serialization — but
+  // only when there is already a backlog to drain.  An idle port costs no
+  // kick event; a later enqueue re-arms it via maybe_start_tx.
+  if (!high_q_.empty() || !low_q_.empty()) arm_kick();
 }
 
 }  // namespace fastcc::net

@@ -6,12 +6,17 @@
 // transmitter.  Ports always come in pairs: `peer_port` on the peer node is
 // the reverse direction of the same cable, which is what PFC pause frames
 // address.
+//
+// Zero-copy pipeline: queues hold 4-byte PacketRef handles into the shared
+// PacketPool, and each transmitted packet costs a single scheduled event —
+// the peer's delivery at tx_time + prop_delay — with the next dequeue driven
+// by a self-scheduled kick at tx_time only when a backlog exists.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -37,8 +42,14 @@ class Port {
   void connect(Node* peer, int peer_port, sim::Rate bandwidth,
                sim::Time propagation_delay);
 
-  /// Accepts a packet from the owning node for transmission.  Applies RED
-  /// marking and buffer accounting, then kicks the transmitter.
+  /// Accepts a pool packet from the owning node for transmission.  Applies
+  /// RED marking and buffer accounting, then kicks the transmitter.  On a
+  /// tail drop the packet's PFC ingress accounting is released and the
+  /// handle returned to the pool.
+  void enqueue(PacketRef ref);
+
+  /// Convenience overload (tests, standalone tools): copies the packet into
+  /// a fresh pool slot, then enqueues the handle.
   void enqueue(Packet&& p);
 
   /// PFC: freezes/unfreezes the transmitter.  An in-flight serialization
@@ -48,6 +59,7 @@ class Port {
 
   void set_red(const RedParams& red) { red_ = red; }
   void set_rng(sim::Rng* rng) { rng_ = rng; }
+  void set_packet_pool(PacketPool* pool) { pool_ = pool; }
 
   /// Total buffered bytes (both priorities).
   std::uint64_t queue_bytes() const { return queued_bytes_; }
@@ -74,7 +86,8 @@ class Port {
 
  private:
   void maybe_start_tx();
-  void finish_tx(Packet&& p);
+  void start_tx();
+  void arm_kick();
 
   sim::Simulator& sim_;
   Node* owner_;
@@ -85,8 +98,9 @@ class Port {
   sim::Rate bandwidth_ = 0.0;
   sim::Time prop_delay_ = 0;
 
-  std::deque<Packet> high_q_;  // control / ACK
-  std::deque<Packet> low_q_;   // data
+  PacketPool* pool_ = nullptr;
+  PacketRing high_q_;  // control / ACK
+  PacketRing low_q_;   // data
   std::uint64_t queued_bytes_ = 0;
   std::uint64_t data_queued_bytes_ = 0;
   std::uint64_t max_queued_bytes_ = 0;
@@ -94,7 +108,11 @@ class Port {
   std::uint64_t tx_bytes_ = 0;
   std::uint64_t drops_ = 0;
 
-  bool busy_ = false;
+  /// The wire is serializing until this instant; a new transmission may
+  /// start at any now >= wire_free_time_.
+  sim::Time wire_free_time_ = 0;
+  /// A dequeue kick is already scheduled (at most one outstanding).
+  bool kick_armed_ = false;
   bool paused_ = false;
 
   RedParams red_;

@@ -28,7 +28,7 @@ class SwitchNode : public Node {
   const std::vector<int>& routes(NodeId dst) const;
 
  protected:
-  void receive(Packet&& p, int in_port) override;
+  void receive(PacketRef ref, int in_port) override;
 
  private:
   std::vector<std::vector<int>> routes_by_dst_;  // indexed by NodeId

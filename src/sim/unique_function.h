@@ -1,14 +1,12 @@
 // UniqueFunction: a move-only void() callable with small-buffer optimization.
 //
-// Scheduled events frequently capture move-only state (packets in flight,
-// flow state with owning pointers); std::function requires copyability, and
-// std::move_only_function is C++23, so this small type-erased wrapper fills
-// the gap.  Callables up to kInlineSize bytes — sized so the simulator's
-// hottest closure, a net::Packet moved into a lambda plus a couple of
-// pointers, fits — are stored inline, so scheduling an event performs zero
-// heap allocations in the steady state.  Oversized (or over-aligned, or
-// throwing-move) callables transparently fall back to a single heap
-// allocation, preserving the old behavior.
+// Scheduled events frequently capture move-only state (flow state with
+// owning pointers, std::function samplers); std::function requires
+// copyability, and std::move_only_function is C++23, so this small
+// type-erased wrapper fills the gap.  Callables up to kInlineSize bytes are
+// stored inline, so scheduling an event performs zero heap allocations in
+// the steady state.  Oversized (or over-aligned, or throwing-move) callables
+// transparently fall back to a single heap allocation.
 #pragma once
 
 #include <cassert>
@@ -22,10 +20,13 @@ namespace fastcc::sim {
 
 class UniqueFunction {
  public:
-  /// Inline capacity.  A Packet with its full INT stack is ~330 bytes; the
-  /// per-hop forwarding closures capture one Packet plus a pointer or two,
-  /// so 384 bytes covers every closure on the packet hot path with headroom.
-  static constexpr std::size_t kInlineSize = 384;
+  /// Inline capacity.  With the zero-copy packet pipeline the hottest
+  /// closures are handle-sized (node pointer + 4-byte PacketRef + port,
+  /// <= 24 bytes); 64 bytes also covers host timers, std::function sampler
+  /// copies (32 B), and the experiments' flow-start closures, while keeping
+  /// a whole event slot within two cache lines instead of seven (the old
+  /// 384-byte buffer sized for a by-value Packet).
+  static constexpr std::size_t kInlineSize = 64;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
   /// True when callables of type F are stored inline (no heap allocation).

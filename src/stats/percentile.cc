@@ -7,26 +7,47 @@
 
 namespace fastcc::stats {
 
+namespace {
+
+/// Nearest-rank index for percentile p of n samples: ceil(p/100 * n) - 1,
+/// clamped to [0, n-1].
+std::size_t rank_index(std::size_t n, double p) {
+  if (p <= 0.0) return 0;
+  const std::size_t rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return std::min(rank, n) - 1;
+}
+
+}  // namespace
+
 double percentile(std::span<const double> values, double p) {
   assert(!values.empty());
   assert(p >= 0.0 && p <= 100.0);
-  std::vector<double> sorted(values.begin(), values.end());
-  std::sort(sorted.begin(), sorted.end());
-  if (p <= 0.0) return sorted.front();
-  // Nearest-rank: ceil(p/100 * n), 1-indexed.
-  const auto n = sorted.size();
-  const std::size_t rank = static_cast<std::size_t>(
-      std::ceil(p / 100.0 * static_cast<double>(n)));
-  return sorted[std::min(rank, n) - 1];
+  // One-shot query: selection beats a full sort (O(n) vs O(n log n)).
+  std::vector<double> scratch(values.begin(), values.end());
+  auto nth = scratch.begin() +
+             static_cast<std::ptrdiff_t>(rank_index(scratch.size(), p));
+  std::nth_element(scratch.begin(), nth, scratch.end());
+  return *nth;
+}
+
+void PercentileEstimator::ensure_sorted() const {
+  if (!dirty_) return;
+  std::sort(values_.begin(), values_.end());
+  dirty_ = false;
 }
 
 double PercentileEstimator::percentile(double p) const {
-  return stats::percentile(values_, p);
+  assert(!values_.empty());
+  assert(p >= 0.0 && p <= 100.0);
+  ensure_sorted();
+  return values_[rank_index(values_.size(), p)];
 }
 
 double PercentileEstimator::max() const {
   assert(!values_.empty());
-  return *std::max_element(values_.begin(), values_.end());
+  ensure_sorted();
+  return values_.back();
 }
 
 double PercentileEstimator::mean() const {

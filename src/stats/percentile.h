@@ -1,8 +1,11 @@
-// Exact percentile computation (nearest-rank on a sorted copy).
+// Exact percentile computation (nearest-rank).
 //
 // Datacenter-tail studies live and die by their percentiles; with the sample
-// counts involved here (10^3..10^5 flows) exact sorting is cheap, so no
-// sketching is used.
+// counts involved here (10^3..10^5 flows) exact selection is cheap, so no
+// sketching is used.  The free function selects with std::nth_element (O(n)
+// per query); PercentileEstimator amortizes repeated queries — the
+// per-size-bucket FCT tables ask for several percentiles of the same sample
+// set — by sorting once behind a dirty flag.
 #pragma once
 
 #include <span>
@@ -15,10 +18,15 @@ namespace fastcc::stats {
 /// Precondition: !values.empty().
 double percentile(std::span<const double> values, double p);
 
-/// Convenience for repeated queries against the same sample set.
+/// Convenience for repeated queries against the same sample set.  The first
+/// percentile query after an add() sorts the samples once; subsequent
+/// queries are O(1) rank lookups.
 class PercentileEstimator {
  public:
-  void add(double v) { values_.push_back(v); }
+  void add(double v) {
+    values_.push_back(v);
+    dirty_ = true;
+  }
   std::size_t count() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
 
@@ -29,7 +37,11 @@ class PercentileEstimator {
   double mean() const;
 
  private:
-  std::vector<double> values_;
+  void ensure_sorted() const;
+
+  // Sorted lazily; mutable so const accessors can amortize across queries.
+  mutable std::vector<double> values_;
+  mutable bool dirty_ = false;
 };
 
 }  // namespace fastcc::stats

@@ -1,19 +1,27 @@
-// Proves the acceptance criterion of the allocation-free dispatch work: in
-// the steady state, scheduling and running the common packet-event closures
-// performs ZERO heap allocations.  Global operator new/delete are replaced
-// with counting versions, so this test lives in its own executable — the
-// hook is process-wide and deliberately not linked into fastcc_tests.
+// Proves the acceptance criteria of the allocation-free dispatch and
+// zero-copy packet pipeline work: in the steady state, scheduling and
+// running the common packet-event closures performs ZERO heap allocations,
+// both at the queue level and end-to-end across a fat-tree.  Global
+// operator new/delete are replaced with counting versions, so this test
+// lives in its own executable — the hook is process-wide and deliberately
+// not linked into fastcc_tests.
 #include <gtest/gtest.h>
 
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
+#include <memory>
 #include <new>
 
+#include "net/host.h"
+#include "net/network.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/calendar_queue.h"
 #include "sim/event_queue.h"
 #include "sim/simulator.h"
+#include "test_util.h"
+#include "topo/fat_tree.h"
 
 namespace {
 // Not atomic: the simulator and these tests are single-threaded, and gtest
@@ -48,22 +56,27 @@ void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
 namespace fastcc {
 namespace {
 
-net::Packet worst_case_packet() {
-  net::Packet p = net::make_data(/*flow=*/1, /*src=*/0, /*dst=*/1, /*seq=*/0,
-                                 /*payload=*/1000, /*now=*/0);
-  p.int_count = net::kMaxHops;  // full INT stack, the largest hot closure
-  return p;
-}
-
-// Rolling-horizon schedule/pop cycles with Packet-capturing closures.
-// Warm-up lets every internal vector (heap, slots, freelist, buckets) reach
-// its steady-state capacity; after that, not one allocation is allowed.
+// Rolling-horizon schedule/pop cycles with handle-shaped closures: exactly
+// what Port::start_tx schedules per hop — a pool pointer plus a 4-byte
+// PacketRef, not the 280-byte Packet itself.  Warm-up lets every internal
+// vector (heap, slots, freelist, buckets) reach its steady-state capacity;
+// after that, not one allocation is allowed.
 template <typename Queue>
 void expect_steady_state_alloc_free() {
   Queue q;
-  const net::Packet pkt = worst_case_packet();
+  net::PacketPool pool;
+  const net::PacketRef ref = pool.alloc();
+  net::init_data(pool.get(ref), /*flow=*/1, /*src=*/0, /*dst=*/1, /*seq=*/7,
+                 /*payload=*/1000, /*now=*/0);
   std::uint64_t sink = 0;
-  auto closure = [pkt, &sink] { sink += pkt.seq + pkt.wire_bytes; };
+  net::PacketPool* pp = &pool;
+  std::uint64_t* out = &sink;
+  auto closure = [pp, ref, out] {
+    const net::Packet& p = pp->get(ref);
+    *out += p.seq + p.wire_bytes;
+  };
+  static_assert(sizeof(closure) <= 24,
+                "per-hop closure must be handle-sized: pool + ref + context");
   static_assert(sim::UniqueFunction::fits_inline<decltype(closure)>,
                 "packet closure must fit the inline buffer");
 
@@ -84,6 +97,8 @@ void expect_steady_state_alloc_free() {
 
   while (!q.empty()) q.pop_and_run();
   EXPECT_GT(sink, 0u);
+  pool.release(ref);
+  EXPECT_EQ(pool.live(), 0u);
 }
 
 TEST(AllocFreeDispatch, EventQueueSteadyStatePacketClosures) {
@@ -95,14 +110,15 @@ TEST(AllocFreeDispatch, CalendarQueueSteadyStatePacketClosures) {
 }
 
 // End-to-end through the Simulator run loop: a fleet of self-rescheduling
-// packet-carrying events, exactly the shape Port::finish_tx produces.
+// handle-carrying events, exactly the shape Port::start_tx produces.
 struct SelfRescheduler {
   sim::Simulator* s;
-  net::Packet pkt;
+  net::PacketPool* pool;
+  net::PacketRef ref;
   std::uint64_t* sink;
 
   void tick() const {
-    *sink += pkt.seq;
+    *sink += pool->get(ref).seq;
     // Fixed period: the occupancy pattern repeats exactly, so the warm-up
     // provably reaches peak bucket capacity.  Irregular spacing (where the
     // peak creeps up over millions of events and the occasional amortized
@@ -110,13 +126,18 @@ struct SelfRescheduler {
     s->after(128, [self = *this] { self.tick(); });
   }
 };
+static_assert(sizeof(SelfRescheduler) <= 32,
+              "self-rescheduling event must carry a handle, not a Packet");
 
 TEST(AllocFreeDispatch, SimulatorRunLoopSteadyState) {
   sim::Simulator s;
+  net::PacketPool pool;
   std::uint64_t sink = 0;
   for (int i = 0; i < 64; ++i) {
-    SelfRescheduler r{&s, worst_case_packet(), &sink};
-    r.pkt.seq = static_cast<std::uint64_t>(i);
+    const net::PacketRef ref = pool.alloc();
+    net::init_data(pool.get(ref), 1, 0, 1, static_cast<std::uint64_t>(i),
+                   1000, 0);
+    SelfRescheduler r{&s, &pool, ref, &sink};
     s.after(i, [r] { r.tick(); });
   }
   s.run(/*until=*/2'000'000);  // warm-up: calendar buckets reach capacity
@@ -126,6 +147,84 @@ TEST(AllocFreeDispatch, SimulatorRunLoopSteadyState) {
   const std::size_t delta = g_news - before;
   EXPECT_EQ(delta, 0u) << "simulator steady state allocated";
   EXPECT_GT(sink, 0u);
+}
+
+// The full zero-copy pipeline: long flows crossing a fat-tree (host -> ToR
+// -> Agg -> Spine -> Agg -> ToR -> host plus the ACK reverse path) must run
+// allocation-free once the packet pool, port rings, and calendar buckets
+// have warmed up.  A packet is allocated into the pool once at the sender
+// and only its 4-byte handle moves through queues and events after that.
+TEST(AllocFreeDispatch, FatTreeSteadyStateZeroAllocations) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTree tree = topo::build_fat_tree(network, topo::scaled_fat_tree());
+
+  // Cross-pod pairs with distinct sources and destinations: every hop class
+  // (edge + fabric, both directions) stays busy for the whole run.
+  const int n = static_cast<int>(tree.hosts.size());
+  const std::uint64_t size = 100'000'000;  // ~8 ms at 100 Gbps: never finishes
+  net::FlowId next_flow = 1;
+  for (int i = 0; i < 4; ++i) {
+    net::Host* src = tree.hosts[static_cast<std::size_t>(i)];
+    net::Host* dst = tree.hosts[static_cast<std::size_t>(n - 1 - i)];
+    const net::PathInfo path = network.path(src->id(), dst->id());
+    net::FlowTx f;
+    f.spec.id = next_flow++;
+    f.spec.src = src->id();
+    f.spec.dst = dst->id();
+    f.spec.size_bytes = size;
+    f.spec.start_time = 0;
+    f.line_rate = src->port(0).bandwidth();
+    f.base_rtt = path.base_rtt;
+    f.path_hops = path.hops;
+    f.cc = std::make_unique<test::FixedCc>(1e12, sim::gbps(100));
+    src->start_flow(std::move(f));
+  }
+
+  simulator.run(/*until=*/300 * sim::kMicrosecond);  // warm-up
+  ASSERT_GT(network.packet_pool().live(), 0u) << "flows are not in flight";
+
+  const std::size_t before = g_news;
+  simulator.run(/*until=*/900 * sim::kMicrosecond);
+  const std::size_t delta = g_news - before;
+  EXPECT_EQ(delta, 0u) << "fat-tree steady state allocated";
+  EXPECT_GT(simulator.events_executed(), 100'000u);
+}
+
+// Pool leak check: when a simulation drains completely, every handle has
+// been returned — data packets, ACKs, PFC frames, and tail drops all give
+// their slots back.
+TEST(AllocFreeDispatch, PacketPoolDrainsToZeroLiveHandles) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTree tree = topo::build_fat_tree(network, topo::scaled_fat_tree());
+
+  net::FlowId next_flow = 1;
+  for (int i = 0; i < 3; ++i) {
+    net::Host* src = tree.hosts[static_cast<std::size_t>(i)];
+    net::Host* dst = tree.hosts[tree.hosts.size() - 1 - static_cast<std::size_t>(i)];
+    const net::PathInfo path = network.path(src->id(), dst->id());
+    net::FlowTx f;
+    f.spec.id = next_flow++;
+    f.spec.src = src->id();
+    f.spec.dst = dst->id();
+    f.spec.size_bytes = 200'000;
+    f.spec.start_time = 0;
+    f.line_rate = src->port(0).bandwidth();
+    f.base_rtt = path.base_rtt;
+    f.path_hops = path.hops;
+    f.cc = std::make_unique<test::FixedCc>(1e12, sim::gbps(100));
+    src->start_flow(std::move(f));
+  }
+  simulator.run();
+  for (net::FlowId id = 1; id < next_flow; ++id) {
+    const net::FlowTx* f = tree.hosts[static_cast<std::size_t>(id - 1)]->flow(id);
+    ASSERT_NE(f, nullptr);
+    EXPECT_TRUE(f->finished());
+  }
+  EXPECT_EQ(network.packet_pool().live(), 0u)
+      << "a packet handle was never released";
+  EXPECT_GT(network.packet_pool().capacity(), 0u);
 }
 
 // Sanity check that the hook itself works, so the zero deltas above can't

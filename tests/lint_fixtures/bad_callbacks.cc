@@ -18,7 +18,7 @@ void schedule_unsafe(sim::Simulator& sim) {
   });
 }
 
-void schedule_moved_payload(sim::Simulator& sim, net::Packet frame) {
+void schedule_moved_payload(sim::Simulator& sim, net::Packet frame) {  // expect-lint: packet-copy
   // No size static_assert near this capture: the payload may silently
   // exceed the scheduler's inline buffer and take the heap path.
   sim.after(5 * sim::kMicrosecond, [f = std::move(frame)]() mutable {  // expect-lint: sbo-capture

@@ -1,0 +1,24 @@
+// fastcc-lint fixture: by-value Packet traffic that the packet-copy check
+// must flag.  Each annotated line reintroduces the ~280-byte copy the
+// zero-copy pipeline removed.  Never compiled.
+
+namespace fastcc::bad {
+
+struct EgressQueue {
+  std::deque<net::Packet> fifo_;  // expect-lint: packet-copy
+  std::vector<Packet> backlog;  // expect-lint: packet-copy
+};
+
+void forward(net::Packet p);  // expect-lint: packet-copy
+
+void mirror(int port, Packet frame, bool high) {  // expect-lint: packet-copy
+  consume(port + high);
+  consume(frame.seq);
+}
+
+void duplicate(const net::Packet& original) {
+  net::Packet copy = original;  // expect-lint: packet-copy
+  consume(copy.seq);
+}
+
+}  // namespace fastcc::bad

@@ -22,16 +22,32 @@ double fct_microseconds(sim::Time fct) {
   return static_cast<double>(fct) / static_cast<double>(sim::kMicrosecond);
 }
 
-void schedule_safe(sim::Simulator& sim, net::Packet frame) {
+// Packets move by handle (PacketRef), by rvalue reference into the pool,
+// or by const reference for inspection — never by value.
+void schedule_safe(sim::Simulator& sim, net::PacketPool& pool,
+                   net::PacketRef frame, net::Packet&& spare,
+                   const net::Packet& peek) {
   const sim::Time poll_interval = 10 * sim::kMicrosecond;
   const sim::Rate line_rate = sim::gbps(400.0);
   (void)line_rate;
+  consume(std::move(spare));
+  consume(peek.seq);
+  net::Packet scratch;           // default-init local: no copy involved
+  net::Packet& slot = pool.get(frame);
+  consume(slot.seq + scratch.seq);
+  std::vector<net::PacketRef> backlog;  // handles, not Packet values
+  backlog.push_back(frame);
 
   // Value captures only; small, unit-expressed delay.
   sim.after(poll_interval, [count = 0]() mutable { ++count; });
 
+  // Per-hop delivery carries the pool pointer plus the 4-byte handle.
+  net::PacketPool* pp = &pool;
+  sim.after(poll_interval, [pp, frame] { pp->release(frame); });
+
   // Move-init capture with its inline-size guard adjacent.
-  auto deliver = [f = std::move(frame)]() mutable { consume(std::move(f)); };
+  std::array<char, 32> tag{};
+  auto deliver = [t = std::move(tag)]() mutable { consume(t.data()); };
   static_assert(sim::UniqueFunction::fits_inline<decltype(deliver)>,
                 "delivery closure must fit the scheduler's inline buffer");
   sim.after(poll_interval, std::move(deliver));

@@ -13,10 +13,12 @@ using test::test_packet;
 
 struct MonitorHarness {
   sim::Simulator simulator;
+  PacketPool pool;
   SinkNode a{simulator, 0, "a"};
   SinkNode b{simulator, 1, "b"};
 
   MonitorHarness() {
+    test::bind_pool(pool, {&a, &b});
     a.add_port();
     b.add_port();
     a.port(0).connect(&b, 0, sim::gbps(100), 1000);

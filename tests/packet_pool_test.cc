@@ -1,0 +1,111 @@
+// PacketPool: handle lifecycle, generation checking, chunked address
+// stability, and the ring buffer that replaced std::deque<Packet> in Port.
+#include "net/packet_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/packet.h"
+
+namespace fastcc::net {
+namespace {
+
+TEST(PacketPool, AllocResetsHeaderAndTracksLiveCount) {
+  PacketPool pool;
+  EXPECT_EQ(pool.live(), 0u);
+  const PacketRef ref = pool.alloc();
+  EXPECT_EQ(pool.live(), 1u);
+  Packet& p = pool.get(ref);
+  EXPECT_EQ(p.type, PacketType::kData);
+  EXPECT_EQ(p.int_count, 0);
+  EXPECT_EQ(p.ingress_port, -1);
+  EXPECT_EQ(p.wire_bytes, 0u);
+  pool.release(ref);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPool, RecycledSlotComesBackWithCleanHeader) {
+  PacketPool pool;
+  const PacketRef first = pool.alloc();
+  Packet& p = pool.get(first);
+  init_data(p, /*flow=*/7, /*src=*/1, /*dst=*/2, /*seq=*/5000, 1000, 42);
+  p.ecn = true;
+  p.int_count = 3;
+  p.ingress_port = 5;
+  pool.release(first);
+
+  const PacketRef second = pool.alloc();
+  // Freelist is LIFO: the same slot comes straight back...
+  EXPECT_EQ(second.slot(), first.slot());
+  // ...with a fresh generation and a reset header.
+  EXPECT_NE(second.gen(), first.gen());
+  const Packet& q = pool.get(second);
+  EXPECT_FALSE(q.ecn);
+  EXPECT_EQ(q.int_count, 0);
+  EXPECT_EQ(q.ingress_port, -1);
+  EXPECT_EQ(q.seq, 0u);
+  pool.release(second);
+}
+
+TEST(PacketPool, GenerationDistinguishesStaleHandles) {
+  PacketPool pool;
+  const PacketRef ref = pool.alloc();
+  pool.release(ref);
+  const PacketRef fresh = pool.alloc();
+  ASSERT_EQ(fresh.slot(), ref.slot());
+  EXPECT_NE(fresh, ref);  // stale handle no longer names the slot
+  pool.release(fresh);
+}
+
+TEST(PacketPool, ReferencesStayValidAcrossGrowth) {
+  // Chunked storage: a Packet& must survive alloc() adding chunks — the
+  // host holds the received data packet while allocating its ACK.
+  PacketPool pool;
+  const PacketRef anchor = pool.alloc();
+  Packet& p = pool.get(anchor);
+  p.seq = 0xdeadbeef;
+  Packet* addr = &p;
+  std::vector<PacketRef> refs;
+  for (int i = 0; i < 5000; ++i) refs.push_back(pool.alloc());  // many chunks
+  EXPECT_EQ(&pool.get(anchor), addr);
+  EXPECT_EQ(pool.get(anchor).seq, 0xdeadbeefu);
+  for (const PacketRef r : refs) pool.release(r);
+  pool.release(anchor);
+  EXPECT_EQ(pool.live(), 0u);
+  EXPECT_GE(pool.capacity(), 5001u);
+}
+
+TEST(PacketPool, HandleIsFourBytes) {
+  static_assert(sizeof(PacketRef) == 4,
+                "PacketRef must stay a 4-byte handle; per-hop closures are "
+                "sized around it");
+}
+
+TEST(PacketRing, FifoAcrossGrowthAndWraparound) {
+  PacketRing ring;
+  EXPECT_TRUE(ring.empty());
+  PacketPool pool;
+  // Interleave pushes and pops so head_ wraps while the ring grows.
+  std::vector<PacketRef> expect;
+  std::size_t next_pop = 0;
+  for (int i = 0; i < 100; ++i) {
+    const PacketRef r = pool.alloc();
+    expect.push_back(r);
+    ring.push_back(r);
+    if (i % 3 == 2) {
+      EXPECT_EQ(ring.front(), expect[next_pop]);
+      ring.pop_front();
+      ++next_pop;
+    }
+  }
+  while (!ring.empty()) {
+    EXPECT_EQ(ring.front(), expect[next_pop]);
+    ring.pop_front();
+    ++next_pop;
+  }
+  EXPECT_EQ(next_pop, expect.size());
+}
+
+}  // namespace
+}  // namespace fastcc::net

@@ -18,11 +18,13 @@ using test::test_packet;
 // slower than its ingress link, forcing a backlog inside the switch.
 struct PfcChain {
   sim::Simulator simulator;
+  PacketPool pool;
   SinkNode source{simulator, 0, "src"};
   SwitchNode sw{simulator, 1, "sw"};
   SinkNode sink{simulator, 2, "dst"};
 
   PfcChain() {
+    test::bind_pool(pool, {&source, &sw, &sink});
     source.add_port();
     const int sw_in = sw.add_port();
     const int sw_out = sw.add_port();
@@ -64,6 +66,39 @@ TEST(Pfc, WithoutPfcTheSameBurstDrops) {
   c.simulator.run();
   EXPECT_GT(c.sw.port(1).drops(), 0u);
   EXPECT_LT(c.sink.count(), 200u);
+}
+
+// Regression (tail-drop PFC leak): when a packet is tail-dropped at the
+// switch's egress queue, its ingress-port byte accounting must be released
+// with it.  Before the fix, dropped bytes stayed on the ingress count
+// forever, so once the count was pinned above the resume threshold the
+// upstream port never received RESUME and the rest of the burst was never
+// delivered.
+TEST(Pfc, TailDropReleasesIngressAccountingSoResumeIsSent) {
+  PfcChain c;
+  PfcParams pfc;
+  pfc.pause_bytes = 10'000;
+  pfc.resume_bytes = 5'000;
+  c.sw.set_pfc(pfc);
+  // Deliberately *insufficient* headroom: the buffer cap sits barely above
+  // the pause threshold, so in-flight packets that arrive between the pause
+  // threshold being crossed and the PFC frame taking effect overflow the
+  // buffer and are dropped.
+  c.sw.port(1).set_buffer_limit(12'000);
+
+  const int burst = 200;
+  for (int i = 0; i < burst; ++i) {
+    c.source.port(0).enqueue(test_packet(1000, 1, 0, 2));
+  }
+  c.simulator.run();
+  EXPECT_GT(c.sw.port(1).drops(), 0u) << "test needs drops to exercise leak";
+  // RESUME must eventually reach the source: every non-dropped packet is
+  // delivered and nothing stays wedged behind a permanently paused port.
+  EXPECT_EQ(c.sink.count() + c.sw.port(1).drops(),
+            static_cast<std::size_t>(burst));
+  EXPECT_FALSE(c.source.port(0).paused());
+  // Dropped packets were returned to the pool, not leaked.
+  EXPECT_EQ(c.pool.live(), 0u);
 }
 
 TEST(Pfc, ThroughputUnaffectedWhenUncongested) {

@@ -15,10 +15,12 @@ using test::test_packet;
 
 struct PortHarness {
   sim::Simulator simulator;
+  PacketPool pool;
   SinkNode a{simulator, 0, "a"};
   SinkNode b{simulator, 1, "b"};
 
   PortHarness(sim::Rate bw = sim::gbps(100), sim::Time delay = 1000) {
+    test::bind_pool(pool, {&a, &b});
     a.add_port();
     b.add_port();
     a.port(0).connect(&b, 0, bw, delay);
@@ -156,7 +158,9 @@ TEST(Port, RedMarkingIsProbabilisticBetweenThresholds) {
   // linearly up to pmax; with pmax = 1.0 and a queue held at the midpoint,
   // roughly half of enqueued packets should be marked.
   sim::Simulator simulator;
+  PacketPool pool;
   SinkNode a(simulator, 0, "a"), b(simulator, 1, "b");
+  test::bind_pool(pool, {&a, &b});
   a.add_port();
   b.add_port();
   // Slow link so the queue stays put while we enqueue.

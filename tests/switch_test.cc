@@ -67,8 +67,10 @@ TEST(SwitchNode, DifferentSwitchesMakeDecorrelatedPicks) {
 
 TEST(SwitchNode, ForwardsViaSelectedPort) {
   sim::Simulator simulator;
+  PacketPool pool;
   SwitchNode sw(simulator, 0, "sw");
   SinkNode h1(simulator, 1, "h1"), h2(simulator, 2, "h2");
+  test::bind_pool(pool, {&sw, &h1, &h2});
   const int p1 = sw.add_port();
   const int p2 = sw.add_port();
   h1.add_port();

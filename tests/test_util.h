@@ -1,6 +1,7 @@
 // Shared helpers for fastcc tests.
 #pragma once
 
+#include <initializer_list>
 #include <utility>
 #include <vector>
 
@@ -8,12 +9,15 @@
 #include "net/flow.h"
 #include "net/node.h"
 #include "net/packet.h"
+#include "net/packet_pool.h"
 #include "sim/simulator.h"
 
 namespace fastcc::test {
 
 /// A node that records everything delivered to it (timestamps included) and
-/// never forwards — a measurement endpoint for port/link tests.
+/// never forwards — a measurement endpoint for port/link tests.  Arrivals
+/// keep a by-value copy of the packet for inspection; the pool handle is
+/// released immediately, as a real endpoint would.
 class SinkNode : public net::Node {
  public:
   struct Arrival {
@@ -29,14 +33,24 @@ class SinkNode : public net::Node {
   std::size_t count() const { return arrivals_.size(); }
 
  protected:
-  void receive(net::Packet&& p, int in_port) override {
+  void receive(net::PacketRef ref, int in_port) override {
+    const net::Packet& p = packet_pool()->get(ref);
     consume(p);
-    arrivals_.push_back(Arrival{std::move(p), sim_.now(), in_port});
+    arrivals_.push_back(Arrival{p, sim_.now(), in_port});
+    packet_pool()->release(ref);
   }
 
  private:
   std::vector<Arrival> arrivals_;
 };
+
+/// Binds one shared PacketPool to a set of directly-wired nodes (handles
+/// cross node boundaries, so everything in a fabric must share a pool).
+/// Network-based tests don't need this — Network binds its own pool.
+inline void bind_pool(net::PacketPool& pool,
+                      std::initializer_list<net::Node*> nodes) {
+  for (net::Node* n : nodes) n->set_packet_pool(&pool);
+}
 
 /// Congestion control stub: applies a fixed window and rate at flow start
 /// and never reacts to feedback.  Lets host/NIC tests isolate the datapath.
