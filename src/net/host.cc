@@ -37,7 +37,7 @@ sim::Rate Host::total_send_rate() const {
   return sum;
 }
 
-void Host::receive(PacketRef ref, int in_port) {
+void Host::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {
   (void)in_port;
   const Packet& p = packet_pool()->get(ref);
   consume(p);  // release PFC ingress accounting: hosts sink packets

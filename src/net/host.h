@@ -13,6 +13,7 @@
 
 #include "net/flow.h"
 #include "net/node.h"
+#include "util/contracts.h"
 #include "util/ordered_map.h"
 
 namespace fastcc::net {
@@ -51,7 +52,7 @@ class Host : public Node {
   sim::Rate total_send_rate() const;
 
  protected:
-  void receive(PacketRef ref, int in_port) override;
+  void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
 
  private:
   void handle_data(const Packet& p);

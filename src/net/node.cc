@@ -22,7 +22,7 @@ void Node::set_packet_pool(PacketPool* pool) {
   for (auto& p : ports_) p->set_packet_pool(pool);
 }
 
-void Node::deliver(PacketRef ref, int in_port) {
+void Node::deliver(FASTCC_CONSUMES PacketRef ref, int in_port) {
   assert(in_port >= 0 && in_port < port_count());
   assert(pool_ != nullptr && "node has no packet pool bound");
   Packet& p = pool_->get(ref);
@@ -31,6 +31,10 @@ void Node::deliver(PacketRef ref, int in_port) {
   if (p.type == PacketType::kPfcPause || p.type == PacketType::kPfcResume) {
     assert(p.pfc_port >= 0 && p.pfc_port < port_count());
     ports_[p.pfc_port]->set_paused(p.type == PacketType::kPfcPause);
+    // PFC control frames bypass queues and are never ingress-accounted —
+    // pfc_account() runs only on the data/ACK path below this branch — so
+    // there is no accounting to discharge before recycling the slot.
+    // lint:allow(unbalanced-pfc -- PFC frames are never ingress-accounted)
     pool_->release(ref);
     return;
   }

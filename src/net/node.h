@@ -16,6 +16,7 @@
 #include "net/packet_pool.h"
 #include "net/port.h"
 #include "sim/simulator.h"
+#include "util/contracts.h"
 
 namespace fastcc::net {
 
@@ -54,7 +55,7 @@ class Node {
 
   /// Entry point for packets arriving off the wire.  `in_port` is the index
   /// of this node's reverse-direction port for the arrival link.
-  void deliver(PacketRef ref, int in_port);
+  void deliver(FASTCC_CONSUMES PacketRef ref, int in_port);
 
   /// Called by a Port when a packet starts serialization (or dies in a tail
   /// drop) and thus leaves the node's buffer: releases the PFC ingress
@@ -66,7 +67,7 @@ class Node {
  protected:
   /// Subclass packet handling (forwarding for switches, host protocol).
   /// The callee owns the handle: forward it or release it.
-  virtual void receive(PacketRef ref, int in_port) = 0;
+  virtual void receive(FASTCC_CONSUMES PacketRef ref, int in_port) = 0;
 
   /// Consumes a packet at this node (hosts): releases PFC accounting.
   void consume(const Packet& p);

@@ -13,7 +13,17 @@
 //
 // Handles are generation-checked: release() bumps the slot's generation, so
 // a stale PacketRef held past release (a use-after-free in disguise) fails
-// the get() assert instead of silently reading a recycled packet.  Storage
+// the get() assert instead of silently reading a recycled packet.
+//
+// Aliasing window: the generation counter is 12 bits, so it wraps after
+// exactly 4096 release/alloc cycles of one slot.  A stale handle hoarded
+// across a full wrap becomes indistinguishable from the slot's current
+// incarnation and the generation check silently passes (see
+// PacketPool.GenerationWrapsAfter4096Cycles).  In practice a handle's
+// lifetime is one pipeline traversal — a few simulated microseconds — while
+// a wrap needs 4096 reuses of the same slot, so the check loses none of its
+// power against real bugs; the static fastcc-dataflow analysis covers the
+// pathological hoarding case.  Storage
 // is chunked (fixed-size arrays, never reallocated), so Packet& references
 // obtained from get() stay valid across alloc() growth — e.g. a host may
 // hold the received data packet while allocating its ACK.
@@ -25,6 +35,7 @@
 #include <vector>
 
 #include "net/packet.h"
+#include "util/contracts.h"
 
 namespace fastcc::net {
 
@@ -58,7 +69,7 @@ class PacketPool {
   /// packet's header fields.  The INT array is deliberately *not* cleared:
   /// records at index >= int_count are never read, so recycling skips the
   /// 256-byte wipe that dominated the old by-value packet path.
-  PacketRef alloc() {
+  FASTCC_PRODUCES PacketRef alloc() {
     if (free_.empty()) add_chunk();
     const std::uint32_t slot = free_.back();
     free_.pop_back();
@@ -70,13 +81,13 @@ class PacketPool {
 
   /// Resolves a handle.  The reference stays valid until release(): chunked
   /// storage never moves slots, so nested alloc() calls cannot dangle it.
-  Packet& get(PacketRef ref) {
+  Packet& get(FASTCC_BORROWS PacketRef ref) {
     Slot& s = slot_at(ref.slot());
     assert(ref.valid() && s.gen == ref.gen() &&
            "stale PacketRef: packet was already released");
     return s.pkt;
   }
-  const Packet& get(PacketRef ref) const {
+  const Packet& get(FASTCC_BORROWS PacketRef ref) const {
     const Slot& s = slot_at(ref.slot());
     assert(ref.valid() && s.gen == ref.gen() &&
            "stale PacketRef: packet was already released");
@@ -85,7 +96,7 @@ class PacketPool {
 
   /// Returns the slot to the freelist and invalidates every outstanding
   /// handle to it by bumping the generation.
-  void release(PacketRef ref) {
+  void release(FASTCC_CONSUMES PacketRef ref) {
     Slot& s = slot_at(ref.slot());
     assert(ref.valid() && s.gen == ref.gen() &&
            "double release of a PacketRef");
@@ -93,6 +104,17 @@ class PacketPool {
     free_.push_back(ref.slot());
     assert(live_ > 0);
     --live_;
+  }
+
+  /// Non-asserting staleness probe: true iff the handle names its slot's
+  /// current incarnation.  Unlike get(), safe to call on a stale handle —
+  /// used by tests and diagnostics.  Subject to the 12-bit generation
+  /// aliasing window documented at the top of this file: a handle held
+  /// across exactly 4096 release/alloc cycles of its slot reads as current
+  /// again.
+  bool is_current(PacketRef ref) const {
+    if (!ref.valid() || ref.slot() >= capacity_) return false;
+    return slot_at(ref.slot()).gen == ref.gen();
   }
 
   /// Packets currently allocated (leak check: a drained simulation must end
@@ -145,13 +167,18 @@ class PacketRing {
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }
 
-  void push_back(PacketRef ref) {
+  void push_back(FASTCC_CONSUMES PacketRef ref) {
     if (size_ == buf_.size()) grow();
     buf_[(head_ + size_) & (buf_.size() - 1)] = ref;
     ++size_;
   }
 
-  PacketRef front() const {
+  /// Peeks the head handle.  Declared FASTCC_PRODUCES because the idiomatic
+  /// use is `ref = front(); pop_front();` — the caller assumes ownership of
+  /// the returned handle and the ring forgets it.  (A front() not paired
+  /// with pop_front() duplicates ownership; intraprocedural analysis cannot
+  /// see that, so the pairing is a convention this comment documents.)
+  FASTCC_PRODUCES PacketRef front() const {
     assert(size_ > 0);
     return buf_[head_];
   }

@@ -19,7 +19,7 @@ void Port::connect(Node* peer, int peer_port, sim::Rate bandwidth,
   prop_delay_ = propagation_delay;
 }
 
-void Port::enqueue(PacketRef ref) {
+void Port::enqueue(FASTCC_CONSUMES PacketRef ref) {
   assert(connected() && "enqueue on unconnected port");
   assert(pool_ != nullptr && "port has no packet pool bound");
   Packet& p = pool_->get(ref);

@@ -20,6 +20,7 @@
 #include "sim/random.h"
 #include "sim/simulator.h"
 #include "sim/time.h"
+#include "util/contracts.h"
 
 namespace fastcc::net {
 
@@ -46,7 +47,7 @@ class Port {
   /// RED marking and buffer accounting, then kicks the transmitter.  On a
   /// tail drop the packet's PFC ingress accounting is released and the
   /// handle returned to the pool.
-  void enqueue(PacketRef ref);
+  void enqueue(FASTCC_CONSUMES PacketRef ref);
 
   /// Convenience overload (tests, standalone tools): copies the packet into
   /// a fresh pool slot, then enqueues the handle.

@@ -38,7 +38,7 @@ int SwitchNode::select_port(NodeId dst, FlowId flow, NodeId src) const {
   return candidates[h % candidates.size()];
 }
 
-void SwitchNode::receive(PacketRef ref, int in_port) {
+void SwitchNode::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {
   (void)in_port;
   const Packet& p = packet_pool()->get(ref);
   const int out = select_port(p.dst, p.flow, p.src);

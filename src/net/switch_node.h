@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "net/node.h"
+#include "util/contracts.h"
 
 namespace fastcc::net {
 
@@ -28,7 +29,7 @@ class SwitchNode : public Node {
   const std::vector<int>& routes(NodeId dst) const;
 
  protected:
-  void receive(PacketRef ref, int in_port) override;
+  void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
 
  private:
   std::vector<std::vector<int>> routes_by_dst_;  // indexed by NodeId

@@ -1,0 +1,34 @@
+// fastcc-lint fixture: assert() arguments carrying side effects.  Under
+// NDEBUG the whole argument expression is compiled away, so the mutation
+// happens in debug builds only and the two configurations simulate
+// different networks.  Never compiled; exercised by --self-test.
+
+namespace fastcc::bad {
+
+void increments_inside_assert(int credits) {
+  assert(++credits > 0);  // expect-lint: assert-side-effect
+  assert(credits-- != 0);  // expect-lint: assert-side-effect
+}
+
+void assigns_inside_assert(int a, int b) {
+  assert(a = b);  // expect-lint: assert-side-effect
+  assert((a += b) < 100);  // expect-lint: assert-side-effect
+}
+
+void mutating_call_inside_assert(PacketPool& pool, PacketRef ref) {
+  assert(pool.release(ref));  // expect-lint: assert-side-effect
+  assert(pool.alloc().valid());  // expect-lint: assert-side-effect
+}
+
+void clean_asserts(const PacketPool& pool, PacketRef ref, int in_port,
+                   int ports) {
+  // Const observers and comparisons are fine: the lexer emits ==, <=, >=
+  // as single tokens, so none of these look like assignments.
+  assert(ref.valid());
+  assert(in_port >= 0 && in_port < ports);
+  assert(pool.live() == 0u);
+  static_assert(sizeof(int) >= 4, "static_assert args are constant "
+                "expressions and exempt");
+}
+
+}  // namespace fastcc::bad

@@ -1,0 +1,31 @@
+// fastcc-dataflow fixture: code that contradicts its declared ownership
+// contract — destroying a handle it only borrowed, or smuggling an owned
+// handle out of a function that never promised to produce one.  Never
+// compiled.
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+};
+void enqueue(FASTCC_CONSUMES PacketRef ref);
+
+namespace fastcc::bad {
+
+void peek_then_destroy(FASTCC_BORROWS PacketRef ref, PacketPool& pool) {
+  Packet& p = pool.get(ref);
+  if (p.ecn) {
+    // The caller still owns ref; releasing it here invalidates the
+    // caller's handle behind its back.
+    pool.release(ref);  // expect-dataflow: contract-violation
+  }
+}
+
+PacketRef undeclared_producer(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  // This function carries no FASTCC_PRODUCES, so callers have no idea
+  // they just became responsible for a pool slot.
+  return ref;  // expect-dataflow: contract-violation
+}
+
+}  // namespace fastcc::bad

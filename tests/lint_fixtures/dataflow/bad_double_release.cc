@@ -1,0 +1,40 @@
+// fastcc-dataflow fixture: the same PacketRef released twice.  The second
+// release() bumps a generation that now belongs to whoever re-alloc'd the
+// slot, invalidating an innocent bystander's live handle.  Never compiled.
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+};
+void enqueue(FASTCC_CONSUMES PacketRef ref);
+
+namespace fastcc::bad {
+
+void straight_line_double_release(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  pool.release(ref);
+  pool.release(ref);  // expect-dataflow: double-release
+}
+
+void branch_double_release(PacketPool& pool, bool drop) {
+  PacketRef ref = pool.alloc();
+  if (drop) {
+    pool.release(ref);
+  }
+  // Already released when drop was true.
+  pool.release(ref);  // expect-dataflow: double-release
+}
+
+void loop_double_release(PacketPool& pool, int n) {
+  PacketRef ref = pool.alloc();
+  for (int i = 0; i < n; ++i) {
+    // Second iteration releases an already-released handle; the widened
+    // loop join carries the released state back to the loop head.
+    pool.release(ref);  // expect-dataflow: double-release
+    // The zero-iteration path never releases at all, so the same loop also
+    // leaks the handle:
+  }  // expect-dataflow: path-leak
+}
+
+}  // namespace fastcc::bad

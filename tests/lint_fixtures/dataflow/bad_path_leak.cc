@@ -1,0 +1,56 @@
+// fastcc-dataflow fixture: owned handles that reach a return, an
+// overwrite, or the end of the function without being transferred or
+// released on some path.  Each leak pins a PacketPool slot forever (and,
+// for delivered packets, its PFC ingress accounting with it).  Never
+// compiled.
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+};
+void enqueue(FASTCC_CONSUMES PacketRef ref);
+
+namespace fastcc::bad {
+
+void leak_on_early_return(PacketPool& pool, bool drop) {
+  PacketRef ref = pool.alloc();
+  if (drop) {
+    return;  // expect-dataflow: path-leak
+  }
+  enqueue(ref);
+}
+
+void leak_at_end_of_function(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  Packet& p = pool.get(ref);
+  p.ecn = true;  // expect-dataflow: path-leak
+}
+
+void leak_by_overwrite(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  ref = pool.alloc();  // expect-dataflow: path-leak
+  pool.release(ref);
+}
+
+void consumed_param_dropped(FASTCC_CONSUMES PacketRef ref, PacketPool& pool,
+                            bool ok) {
+  if (ok) {
+    enqueue(ref);
+    return;
+  }
+  return;  // expect-dataflow: path-leak
+}
+
+void leak_only_in_else(PacketPool& pool, bool fast) {
+  PacketRef ref = pool.alloc();
+  if (fast) {
+    enqueue(ref);
+  } else {
+    Packet& p = pool.get(ref);
+    p.ecn = true;
+  }
+  return;  // expect-dataflow: path-leak
+}
+
+}  // namespace fastcc::bad

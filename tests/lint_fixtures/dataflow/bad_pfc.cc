@@ -1,0 +1,43 @@
+// fastcc-dataflow fixture: PFC ingress accounting left undischarged when a
+// delivered (foreign-origin) packet's slot is recycled.  The upstream port
+// then counts phantom bytes forever and may stay paused — the PR-3 tail-drop
+// bug class.  Never compiled.
+//
+// dataflow:pfc-scope
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+  FASTCC_PRODUCES PacketRef front() const;
+  void pop_front();
+};
+void on_packet_departed(const Packet& p);
+void consume(const Packet& p);
+
+namespace fastcc::bad {
+
+void sink_without_discharge(FASTCC_CONSUMES PacketRef ref, PacketPool& pool) {
+  // A delivered packet arrives pre-charged against its ingress port; this
+  // sink recycles the slot without ever crediting the bytes back.
+  pool.release(ref);  // expect-dataflow: unbalanced-pfc
+}
+
+void discharge_only_on_one_path(FASTCC_CONSUMES PacketRef ref,
+                                PacketPool& pool, bool is_ack) {
+  Packet& p = pool.get(ref);
+  if (is_ack) {
+    consume(p);
+  }
+  // Data packets fall through with their accounting still charged.
+  pool.release(ref);  // expect-dataflow: unbalanced-pfc
+}
+
+void drop_from_queue_without_discharge(PacketPool& pool) {
+  PacketRef ref = pool.front();
+  pool.pop_front();
+  // Queued packets are foreign too: they were accounted when delivered.
+  pool.release(ref);  // expect-dataflow: unbalanced-pfc
+}
+
+}  // namespace fastcc::bad

@@ -1,0 +1,51 @@
+// fastcc-dataflow fixture: PacketRef handles touched after their ownership
+// ended (release, FASTCC_CONSUMES transfer, or closure escape).  Each
+// annotated line reintroduces the stale-handle bug class the pool's
+// generation check only catches at runtime.  Never compiled.
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+};
+void enqueue(FASTCC_CONSUMES PacketRef ref);
+
+namespace fastcc::bad {
+
+void use_after_release(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  pool.release(ref);
+  Packet& p = pool.get(ref);  // expect-dataflow: use-after-release
+  p.ecn = true;
+}
+
+void use_after_transfer(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  enqueue(ref);
+  pool.get(ref).ecn = true;  // expect-dataflow: use-after-release
+}
+
+void use_after_release_one_path(PacketPool& pool, bool drop) {
+  PacketRef ref = pool.alloc();
+  if (drop) {
+    pool.release(ref);
+  }
+  // Owned on the fall-through path, released on the drop path: flow-
+  // sensitive join makes this a may-use-after-release — and the surviving
+  // owned handle then leaks at the end of the function.
+  pool.get(ref).ecn = true;  // expect-dataflow: use-after-release, path-leak
+}
+
+void capture_after_release(PacketPool& pool, Simulator& sim) {
+  PacketRef ref = pool.alloc();
+  pool.release(ref);
+  sim.after(10, [ref] { enqueue(ref); });  // expect-dataflow: use-after-release
+}
+
+void release_after_escape(PacketPool& pool, Simulator& sim) {
+  PacketRef ref = pool.alloc();
+  sim.after(10, [ref] { enqueue(ref); });
+  pool.release(ref);  // expect-dataflow: use-after-release
+}
+
+}  // namespace fastcc::bad

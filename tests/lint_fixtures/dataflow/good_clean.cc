@@ -1,0 +1,117 @@
+// fastcc-dataflow fixture: correct ownership discipline across the same
+// shapes the bad_* fixtures get wrong.  The analysis must stay silent on
+// every function here.  Never compiled.
+//
+// dataflow:pfc-scope
+//
+// clean-dataflow: use-after-release
+// clean-dataflow: double-release
+// clean-dataflow: path-leak
+// clean-dataflow: unbalanced-pfc
+// clean-dataflow: contract-violation
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+  FASTCC_PRODUCES PacketRef front() const;
+  void pop_front();
+};
+void enqueue(FASTCC_CONSUMES PacketRef ref);
+void on_packet_departed(const Packet& p);
+void consume(const Packet& p);
+
+namespace fastcc::good {
+
+void alloc_fill_enqueue(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  Packet& p = pool.get(ref);
+  p.ecn = false;
+  enqueue(ref);
+}
+
+void alloc_then_release(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  pool.release(ref);
+}
+
+// Locally allocated packets carry no ingress accounting, so releasing one
+// undischarged inside a pfc-scope file is fine.
+void fresh_alloc_released_in_pfc_scope(PacketPool& pool, bool keep) {
+  PacketRef ref = pool.alloc();
+  if (keep) {
+    enqueue(ref);
+  } else {
+    pool.release(ref);
+  }
+}
+
+void sink_with_discharge(FASTCC_CONSUMES PacketRef ref, PacketPool& pool) {
+  Packet& p = pool.get(ref);
+  consume(p);
+  pool.release(ref);
+}
+
+void depart_then_drop(FASTCC_CONSUMES PacketRef ref, PacketPool& pool) {
+  Packet& p = pool.get(ref);
+  on_packet_departed(p);
+  pool.release(ref);
+}
+
+void branch_consumes_both_ways(FASTCC_CONSUMES PacketRef ref, PacketPool& pool,
+                               bool forward) {
+  if (forward) {
+    enqueue(ref);
+  } else {
+    consume(pool.get(ref));
+    pool.release(ref);
+  }
+}
+
+void peek_only(FASTCC_BORROWS PacketRef ref, PacketPool& pool) {
+  Packet& p = pool.get(ref);
+  p.ecn = true;
+}
+
+FASTCC_PRODUCES PacketRef declared_producer(PacketPool& pool) {
+  PacketRef ref = pool.alloc();
+  Packet& p = pool.get(ref);
+  p.ecn = false;
+  return ref;
+}
+
+void loop_of_fresh_allocs(PacketPool& pool, int n) {
+  for (int i = 0; i < n; ++i) {
+    PacketRef ref = pool.alloc();
+    enqueue(ref);
+  }
+}
+
+void drain_queue(PacketPool& pool, int n) {
+  for (int i = 0; i < n; ++i) {
+    PacketRef ref = pool.front();
+    pool.pop_front();
+    consume(pool.get(ref));
+    pool.release(ref);
+  }
+}
+
+void switch_with_default(FASTCC_CONSUMES PacketRef ref, PacketPool& pool,
+                         int kind) {
+  switch (kind) {
+    case 0:
+      enqueue(ref);
+      break;
+    default:
+      consume(pool.get(ref));
+      pool.release(ref);
+      break;
+  }
+}
+
+void escape_into_closure(PacketPool& pool, Simulator& sim) {
+  PacketRef ref = pool.alloc();
+  sim.after(10, [ref] { enqueue(ref); });
+}
+
+}  // namespace fastcc::good

@@ -76,6 +76,55 @@ TEST(PacketPool, ReferencesStayValidAcrossGrowth) {
   EXPECT_GE(pool.capacity(), 5001u);
 }
 
+TEST(PacketPool, GenerationWrapsAfter4096Cycles) {
+  // The generation field is 12 bits, so one slot's counter wraps after
+  // exactly 2^12 = 4096 release/alloc cycles.  This test pins down both
+  // sides of that boundary: a stale handle is caught for 4095 cycles, and
+  // on the 4096th the wrap silently revalidates it — the aliasing window
+  // documented in packet_pool.h.  If kGenMask ever changes, the constants
+  // here fail loudly instead of the window shifting unnoticed.
+  constexpr std::uint32_t kCycles = PacketRef::kGenMask + 1;
+  static_assert(kCycles == 4096u, "12-bit generation field");
+
+  PacketPool pool;
+  const PacketRef hoarded = pool.alloc();  // slot S, generation 0
+  const std::uint32_t slot = hoarded.slot();
+  EXPECT_TRUE(pool.is_current(hoarded));
+  pool.release(hoarded);  // cycle 1: generation 0 -> 1
+
+  // The freelist is LIFO, so every cycle below reuses the same slot.
+  EXPECT_FALSE(pool.is_current(hoarded));
+  for (std::uint32_t cycle = 1; cycle < kCycles; ++cycle) {
+    const PacketRef fresh = pool.alloc();
+    ASSERT_EQ(fresh.slot(), slot);
+    ASSERT_EQ(fresh.gen(), cycle & PacketRef::kGenMask);
+    // Throughout the pre-wrap window the hoarded handle reads as stale:
+    // get() on it would trip the generation assert.
+    ASSERT_FALSE(pool.is_current(hoarded));
+    ASSERT_NE(fresh, hoarded);
+    pool.release(fresh);
+  }
+
+  // Cycle 4096: the counter wraps to 0 and the slot's current incarnation
+  // once again matches the hoarded handle bit-for-bit.  This is the
+  // aliasing window — the runtime check cannot distinguish the two.
+  const PacketRef reincarnated = pool.alloc();
+  ASSERT_EQ(reincarnated.slot(), slot);
+  EXPECT_EQ(reincarnated.gen(), 0u);
+  EXPECT_EQ(reincarnated, hoarded);
+  EXPECT_TRUE(pool.is_current(hoarded));
+  pool.release(reincarnated);
+  EXPECT_EQ(pool.live(), 0u);
+}
+
+TEST(PacketPool, IsCurrentRejectsInvalidAndOutOfRangeHandles) {
+  PacketPool pool;
+  EXPECT_FALSE(pool.is_current(PacketRef{}));  // kInvalid sentinel
+  const PacketRef ref = pool.alloc();
+  EXPECT_FALSE(pool.is_current(PacketRef::make(ref.slot() + 1000, 0)));
+  pool.release(ref);
+}
+
 TEST(PacketPool, HandleIsFourBytes) {
   static_assert(sizeof(PacketRef) == 4,
                 "PacketRef must stay a 4-byte handle; per-hop closures are "
