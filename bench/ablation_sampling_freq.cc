@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
       p.sampling_freq = s;
       p.vai = cc::hpcc_paper_vai(path.bottleneck *
                                  static_cast<double>(path.base_rtt));
-      return std::make_unique<cc::Hpcc>(p);
+      return cc::Hpcc(p);
     };
     char label[32];
     std::snprintf(label, sizeof(label), "s=%d%s", s, s == 30 ? " (paper)" : "");
@@ -63,7 +63,7 @@ int main(int argc, char** argv) {
           path.bottleneck * static_cast<double>(path.base_rtt) /
           path.bottleneck);
       p.vai = cc::swift_paper_vai(target, path.base_rtt, min_bdp_delay);
-      return std::make_unique<cc::Swift>(p);
+      return cc::Swift(p);
     };
     char label[32];
     std::snprintf(label, sizeof(label), "s=%d%s", s, s == 30 ? " (paper)" : "");

@@ -52,7 +52,7 @@ int main(int argc, char** argv) {
       } else {
         p.vai.dampener_constant = s.dampener_constant;
       }
-      return std::make_unique<cc::Hpcc>(p);
+      return cc::Hpcc(p);
     };
     bench::print_incast_summary(run_incast(config), s.label);
   }

@@ -4,6 +4,8 @@
 // end-to-end packets-per-second figure for the incast pipeline.
 #include <benchmark/benchmark.h>
 
+#include <functional>
+
 #include "core/fairness.h"
 #include "core/fluid_model.h"
 #include "experiments/datacenter.h"
@@ -14,6 +16,7 @@
 #include "sim/event_queue.h"
 #include "sim/random.h"
 #include "sim/simulator.h"
+#include "sim/timing_wheel.h"
 #include "stats/percentile.h"
 #include "workload/distributions.h"
 
@@ -257,6 +260,61 @@ void BM_FatTreeEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_FatTreeEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
+
+/// The per-host timer subsystem in isolation: a pacing-style chain (arm,
+/// fire, re-arm at a few-hundred-ns gap) running next to a far RTO that is
+/// repeatedly cancelled and re-armed — the exact mix Host generates per
+/// flow.  Items = timer firings.
+void BM_TimingWheel(benchmark::State& state) {
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim::TimingWheel wheel;
+    std::uint64_t local = 0;
+    constexpr sim::Time kGap = 300;
+    constexpr int kFirings = 4096;
+    std::function<void()> pace = [&] {
+      ++local;
+      if (local < kFirings) wheel.arm(wheel.now() + kGap, [&] { pace(); });
+    };
+    wheel.arm(kGap, [&] { pace(); });
+    sim::TimerId rto = wheel.arm(1 * sim::kMillisecond, [] {});
+    int since_rearm = 0;
+    while (!wheel.empty()) {
+      wheel.advance(wheel.next_deadline());
+      // Re-arm the RTO every 16 pacing ticks, as ACK arrivals would.
+      if (++since_rearm == 16 && local < kFirings) {
+        since_rearm = 0;
+        wheel.cancel(rto);
+        rto = wheel.arm(wheel.now() + 1 * sim::kMillisecond, [] {});
+      }
+    }
+    fired += local;
+    benchmark::DoNotOptimize(wheel.now());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(fired));
+}
+BENCHMARK(BM_TimingWheel)->Unit(benchmark::kMicrosecond);
+
+/// Large-fan-in stress: 256 senders through one bottleneck.  256 concurrent
+/// flows put ~256 pacing timers plus RTOs on one receiver-side ACK path and
+/// make the per-ACK flow lookup genuinely contended — the scale where the
+/// timing wheel, NIC arbiter, and static CC dispatch must hold up, not just
+/// the 8/16-sender shapes above.
+void BM_Incast256(benchmark::State& state) {
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::IncastConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.pattern.senders = 256;
+    config.pattern.flow_bytes = 20'000;
+    config.star.host_count = 257;
+    const exp::IncastResult r = run_incast(config);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.completion_time);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_Incast256)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

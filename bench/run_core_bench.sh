@@ -6,6 +6,15 @@
 #   bench/run_core_bench.sh [build_dir] [out.json]
 #
 # Defaults: build_dir=build, out=BENCH_core.json (repo root).  Requires jq.
+#
+# Each benchmark runs 3 repetitions and the record keeps the best rep
+# (highest events/sec).  items_per_second is wall-clock-based, and on the
+# shared/virtualized hosts this runs on, wall time absorbs hypervisor steal
+# the guest cannot see — a single shot measures the neighbours as much as
+# the code.  Best-of-N is the standard noise-robust throughput estimator;
+# it applies identically to the committed record and to CI's fresh side of
+# compare_bench.py, so comparisons stay symmetric.  (For optimization work,
+# prefer interleaved A/B runs within one session over record deltas.)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -24,20 +33,24 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 "$BIN" \
-  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd|FatTreeEndToEnd' \
+  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd|FatTreeEndToEnd|TimingWheel|Incast256' \
+  --benchmark_repetitions=3 \
   --benchmark_format=json >"$RAW"
 
 jq --arg rev "$GIT_REV" '{
   git_rev: $rev,
   date: .context.date,
   host: .context.host_name,
-  benchmarks: [.benchmarks[] | {
-    name,
-    events_per_second: (.items_per_second // null),
-    ns_per_event: (if .items_per_second then (1e9 / .items_per_second) else null end),
-    real_time, cpu_time, time_unit
-  }]
+  benchmarks: ([.benchmarks[] | select((.run_type // "iteration") == "iteration")]
+    | group_by(.run_name // .name)
+    | map(max_by(.items_per_second // 0))
+    | map({
+        name: (.run_name // .name),
+        events_per_second: (.items_per_second // null),
+        ns_per_event: (if .items_per_second then (1e9 / .items_per_second) else null end),
+        real_time, cpu_time, time_unit
+      }))
 }' "$RAW" >"$OUT"
 
-echo "wrote $OUT (rev $GIT_REV)"
+echo "wrote $OUT (rev $GIT_REV, best of 3 repetitions)"
 jq -r '.benchmarks[] | "\(.name): \(.events_per_second // 0 | floor) events/s"' "$OUT"

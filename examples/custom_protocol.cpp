@@ -73,7 +73,9 @@ exp::IncastResult run_mini(int sampling_freq) {
   config.custom_cc = [sampling_freq](const net::PathInfo& path) {
     // Tolerate one min-BDP of queueing on top of the unloaded RTT.
     const sim::Time target = path.base_rtt + 4 * sim::kMicrosecond;
-    return std::make_unique<MiniCc>(target, sampling_freq);
+    // MiniCc is out-of-tree, so it rides the virtual escape hatch: the
+    // engine wraps the unique_ptr instead of holding a sealed alternative.
+    return cc::CcEngine(std::make_unique<MiniCc>(target, sampling_freq));
   };
   return run_incast(config);
 }

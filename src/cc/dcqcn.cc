@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "net/flow.h"
+
 namespace fastcc::cc {
 
 void Dcqcn::on_flow_start(net::FlowTx& flow) {
@@ -19,7 +21,7 @@ void Dcqcn::apply(net::FlowTx& flow) {
   flow.rate = rc_;
 }
 
-void Dcqcn::cut_rate(net::FlowTx& flow) {
+void Dcqcn::cut_rate(sim::Time now, net::FlowTx& flow) {
   alpha_ = std::min(1.0, (1.0 - p_.g) * alpha_ + p_.g);
   rt_ = rc_;
   rc_ = rc_ * (1.0 - alpha_ / 2.0);
@@ -28,12 +30,10 @@ void Dcqcn::cut_rate(net::FlowTx& flow) {
   bytes_since_increase_ = 0;
   apply(flow);
   // Restart both timers relative to this congestion event.
-  ++alpha_epoch_;
-  ++increase_epoch_;
-  alpha_timer_armed_ = false;
-  increase_timer_armed_ = false;
-  arm_alpha_timer(&flow);
-  arm_increase_timer(&flow);
+  alpha_deadline_ = -1;
+  increase_deadline_ = -1;
+  maybe_arm_alpha(now);
+  maybe_arm_increase(now, flow);
 }
 
 void Dcqcn::increase(net::FlowTx& flow) {
@@ -49,50 +49,47 @@ void Dcqcn::increase(net::FlowTx& flow) {
   apply(flow);
 }
 
-void Dcqcn::arm_alpha_timer(net::FlowTx* flow) {
-  if (alpha_timer_armed_) return;
-  // Once alpha has decayed to noise, snap to zero and stop: the next CNP
-  // re-arms the machinery.  Without this, every long-lived flow would keep
-  // a timer alive for hundreds of milliseconds of pointless decay events.
+void Dcqcn::maybe_arm_alpha(sim::Time now) {
+  if (alpha_deadline_ >= 0) return;
+  // Once alpha has decayed to noise, snap to zero and go quiescent: the next
+  // CNP re-arms the machinery.  Without this, every long-lived flow would
+  // keep a deadline alive for hundreds of milliseconds of pointless decay.
   if (alpha_ < 1e-4) {
     alpha_ = 0.0;
     return;
   }
-  alpha_timer_armed_ = true;
-  const std::uint64_t epoch = alpha_epoch_;
-  sim_.after(p_.alpha_update_interval, [this, flow, epoch] {
-    if (epoch != alpha_epoch_) return;  // superseded by a CNP restart
-    alpha_timer_armed_ = false;
-    if (flow->finished()) return;
-    alpha_ = (1.0 - p_.g) * alpha_;
-    arm_alpha_timer(flow);
-  });
+  alpha_deadline_ = now + p_.alpha_update_interval;
 }
 
-void Dcqcn::arm_increase_timer(net::FlowTx* flow) {
-  if (increase_timer_armed_) return;
+void Dcqcn::maybe_arm_increase(sim::Time now, net::FlowTx& flow) {
+  if (increase_deadline_ >= 0) return;
   // At (numerically) line rate the recovery machinery is quiescent until the
   // next CNP; snap the asymptotic fast-recovery tail to exactly line rate.
-  if (rc_ >= flow->line_rate * (1.0 - 1e-6) && rt_ >= flow->line_rate) {
-    rc_ = flow->line_rate;
-    flow->rate = rc_;
+  if (rc_ >= flow.line_rate * (1.0 - 1e-6) && rt_ >= flow.line_rate) {
+    rc_ = flow.line_rate;
+    flow.rate = rc_;
     return;
   }
-  increase_timer_armed_ = true;
-  const std::uint64_t epoch = increase_epoch_;
-  sim_.after(p_.rate_increase_timer, [this, flow, epoch] {
-    if (epoch != increase_epoch_) return;
-    increase_timer_armed_ = false;
-    if (flow->finished()) return;
+  increase_deadline_ = now + p_.rate_increase_timer;
+}
+
+void Dcqcn::on_timer(sim::Time now, net::FlowTx& flow) {
+  if (alpha_deadline_ >= 0 && alpha_deadline_ <= now) {
+    alpha_deadline_ = -1;
+    alpha_ = (1.0 - p_.g) * alpha_;
+    maybe_arm_alpha(now);
+  }
+  if (increase_deadline_ >= 0 && increase_deadline_ <= now) {
+    increase_deadline_ = -1;
     ++t_stage_;
-    increase(*flow);
-    arm_increase_timer(flow);
-  });
+    increase(flow);
+    maybe_arm_increase(now, flow);
+  }
 }
 
 void Dcqcn::on_ack(const AckContext& ack, net::FlowTx& flow) {
   if (ack.cnp) {
-    cut_rate(flow);
+    cut_rate(ack.now, flow);
     return;
   }
   // Byte-counter driven increase events.
@@ -102,8 +99,8 @@ void Dcqcn::on_ack(const AckContext& ack, net::FlowTx& flow) {
     ++bc_stage_;
     increase(flow);
   }
-  arm_increase_timer(&flow);
-  arm_alpha_timer(&flow);
+  maybe_arm_increase(ack.now, flow);
+  maybe_arm_alpha(ack.now);
 }
 
 }  // namespace fastcc::cc

@@ -7,13 +7,20 @@
 // CNP-driven multiplicative decrease with an EWMA severity estimate (alpha),
 // and timer/byte-counter driven recovery through fast-recovery, additive and
 // hyper increase stages.
+//
+// Timers are expressed as *deadlines*, not self-scheduled simulator events:
+// next_timer() reports the earliest pending deadline (kNoTimer when the
+// machinery is quiescent) and the owner — the Host's per-node timing wheel,
+// or a test harness — calls on_timer() when it elapses.  This keeps the
+// controller simulator-free (so it can live inside CcEngine's variant and be
+// moved with its flow) and avoids the dangling-capture hazard of closures
+// holding FlowTx pointers into relocatable flow tables.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "cc/cc.h"
-#include "net/flow.h"
-#include "sim/simulator.h"
 
 namespace fastcc::cc {
 
@@ -28,28 +35,39 @@ struct DcqcnParams {
   sim::Rate min_rate = sim::gbps(0.1);
 };
 
-class Dcqcn final : public CongestionControl {
+class Dcqcn {
  public:
-  Dcqcn(const DcqcnParams& params, sim::Simulator& simulator)
-      : p_(params), sim_(simulator) {}
+  explicit Dcqcn(const DcqcnParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow) override;
-  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
-  const char* name() const override { return "dcqcn"; }
+  void on_flow_start(net::FlowTx& flow);
+  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  const char* name() const { return "dcqcn"; }
+
+  /// Earliest pending deadline (alpha decay or rate recovery), or kNoTimer
+  /// (-1) when both are quiescent.
+  sim::Time next_timer() const {
+    if (alpha_deadline_ < 0) return increase_deadline_;
+    if (increase_deadline_ < 0) return alpha_deadline_;
+    return std::min(alpha_deadline_, increase_deadline_);
+  }
+
+  /// Fires every deadline at or before `now` (alpha decay first — the order
+  /// the old per-timer events interleaved; the two updates touch disjoint
+  /// state, so the order is fixed purely for reproducibility).
+  void on_timer(sim::Time now, net::FlowTx& flow);
 
   double alpha() const { return alpha_; }
   sim::Rate current_rate() const { return rc_; }
   sim::Rate target_rate() const { return rt_; }
 
  private:
-  void cut_rate(net::FlowTx& flow);
+  void cut_rate(sim::Time now, net::FlowTx& flow);
   void increase(net::FlowTx& flow);
-  void arm_alpha_timer(net::FlowTx* flow);
-  void arm_increase_timer(net::FlowTx* flow);
+  void maybe_arm_alpha(sim::Time now);
+  void maybe_arm_increase(sim::Time now, net::FlowTx& flow);
   void apply(net::FlowTx& flow);
 
   DcqcnParams p_;
-  sim::Simulator& sim_;
 
   double alpha_ = 1.0;
   sim::Rate rc_ = 0.0;  ///< Current rate.
@@ -57,10 +75,8 @@ class Dcqcn final : public CongestionControl {
   int t_stage_ = 0;
   int bc_stage_ = 0;
   std::uint64_t bytes_since_increase_ = 0;
-  bool alpha_timer_armed_ = false;
-  bool increase_timer_armed_ = false;
-  std::uint64_t alpha_epoch_ = 0;     ///< Invalidates stale alpha timers.
-  std::uint64_t increase_epoch_ = 0;  ///< Invalidates stale increase timers.
+  sim::Time alpha_deadline_ = -1;     ///< -1 = alpha decay quiescent.
+  sim::Time increase_deadline_ = -1;  ///< -1 = recovery quiescent.
 };
 
 }  // namespace fastcc::cc

@@ -11,7 +11,6 @@
 #include <cstdint>
 
 #include "cc/cc.h"
-#include "net/flow.h"
 
 namespace fastcc::cc {
 
@@ -24,13 +23,13 @@ struct DctcpParams {
   std::uint32_t mark_threshold_bytes = 100'000;
 };
 
-class Dctcp final : public CongestionControl {
+class Dctcp {
  public:
   explicit Dctcp(const DctcpParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow) override;
-  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
-  const char* name() const override { return "dctcp"; }
+  void on_flow_start(net::FlowTx& flow);
+  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  const char* name() const { return "dctcp"; }
 
   double alpha() const { return alpha_; }
   double cwnd_packets() const { return cwnd_; }

@@ -1,5 +1,7 @@
 #include "cc/hpcc.h"
 
+#include "net/flow.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>

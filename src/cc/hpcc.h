@@ -20,7 +20,6 @@
 #include "cc/cc.h"
 #include "core/sampling_frequency.h"
 #include "core/variable_ai.h"
-#include "net/flow.h"
 #include "sim/random.h"
 
 namespace fastcc::cc {
@@ -42,14 +41,17 @@ struct HpccParams {
 /// KByte of queue above `min_bdp_bytes`, bank 1000, cap 100, dampener 8.
 core::VariableAiParams hpcc_paper_vai(double min_bdp_bytes);
 
-class Hpcc final : public CongestionControl {
+// Concrete protocols are plain (non-virtual) classes dispatched statically
+// through cc::CcEngine (engine.h); deriving from CongestionControl is
+// reserved for out-of-tree extensions that accept the indirect-call cost.
+class Hpcc {
  public:
   Hpcc(const HpccParams& params, sim::Rng* rng = nullptr)
       : p_(params), vai_(params.vai), sf_(params.sampling_freq), rng_(rng) {}
 
-  void on_flow_start(net::FlowTx& flow) override;
-  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
-  const char* name() const override { return "hpcc"; }
+  void on_flow_start(net::FlowTx& flow);
+  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  const char* name() const { return "hpcc"; }
 
   // Introspection for tests.
   double reference_window() const { return wc_; }

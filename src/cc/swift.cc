@@ -1,5 +1,7 @@
 #include "cc/swift.h"
 
+#include "net/flow.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>

@@ -25,7 +25,6 @@
 #include "cc/cc.h"
 #include "core/sampling_frequency.h"
 #include "core/variable_ai.h"
-#include "net/flow.h"
 #include "sim/random.h"
 
 namespace fastcc::cc {
@@ -69,14 +68,14 @@ core::VariableAiParams swift_paper_vai(sim::Time target_delay,
                                        sim::Time base_rtt,
                                        sim::Time min_bdp_delay);
 
-class Swift final : public CongestionControl {
+class Swift {
  public:
   Swift(const SwiftParams& params, sim::Rng* rng = nullptr)
       : p_(params), vai_(params.vai), sf_(params.sampling_freq), rng_(rng) {}
 
-  void on_flow_start(net::FlowTx& flow) override;
-  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
-  const char* name() const override { return "swift"; }
+  void on_flow_start(net::FlowTx& flow);
+  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  const char* name() const { return "swift"; }
 
   /// Target delay for a given congestion window and number of *switch* hops
   /// (the paper's topology-based scaling unit; a star path has 1, the

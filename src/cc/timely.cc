@@ -1,5 +1,7 @@
 #include "cc/timely.h"
 
+#include "net/flow.h"
+
 #include <algorithm>
 
 namespace fastcc::cc {

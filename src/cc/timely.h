@@ -18,7 +18,6 @@
 #include <cstdint>
 
 #include "cc/cc.h"
-#include "net/flow.h"
 
 namespace fastcc::cc {
 
@@ -34,13 +33,13 @@ struct TimelyParams {
   sim::Rate min_rate = sim::gbps(0.1);
 };
 
-class Timely final : public CongestionControl {
+class Timely {
  public:
   explicit Timely(const TimelyParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow) override;
-  void on_ack(const AckContext& ack, net::FlowTx& flow) override;
-  const char* name() const override { return "timely"; }
+  void on_flow_start(net::FlowTx& flow);
+  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  const char* name() const { return "timely"; }
 
   double normalized_gradient() const { return rtt_diff_ / min_rtt_; }
   bool in_hai() const { return negative_streak_ >= p_.hai_threshold; }

@@ -135,8 +135,11 @@ IncastResult run_incast(const IncastConfig& config) {
                      flow.line_rate = prober->port(0).bandwidth();
                      flow.base_rtt = probe_path.base_rtt;
                      flow.path_hops = probe_path.hops;
-                     flow.cc = config.custom_cc ? config.custom_cc(probe_path)
-                                                : factory.make(probe_path);
+                     if (config.custom_cc) {
+                       flow.cc = config.custom_cc(probe_path);
+                     } else {
+                       flow.cc = factory.make(probe_path);
+                     }
                      prober->start_flow(std::move(flow));
                    });
     }
@@ -154,7 +157,11 @@ IncastResult run_incast(const IncastConfig& config) {
       flow.line_rate = src->port(0).bandwidth();
       flow.base_rtt = path.base_rtt;
       flow.path_hops = path.hops;
-      flow.cc = config.custom_cc ? config.custom_cc(path) : factory.make(path);
+      if (config.custom_cc) {
+        flow.cc = config.custom_cc(path);
+      } else {
+        flow.cc = factory.make(path);
+      }
       src->start_flow(std::move(flow));
     });
   }
@@ -215,6 +222,9 @@ IncastResult run_incast(const IncastConfig& config) {
                                config.jain_sample_interval,
                                variant_name(config.variant),
                                [&] { return completed < total; });
+  // Sampling rides the hub's timing wheel: one global event per expiry
+  // instead of a standing entry in the calendar queue.
+  util.ride_wheel(&star.hub->wheel());
   util.start();
 
   simulator.run(config.max_sim_time);

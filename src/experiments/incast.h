@@ -49,9 +49,10 @@ struct IncastConfig {
 
   /// Optional override: build controllers directly instead of via the
   /// variant catalogue (parameter-sweep ablations).  `variant` is still used
-  /// for labelling and RED/PFC setup.
-  std::function<std::unique_ptr<cc::CongestionControl>(const net::PathInfo&)>
-      custom_cc;
+  /// for labelling and RED/PFC setup.  Return a value engine
+  /// (`cc::Hpcc(...)`) or, for out-of-tree controllers, wrap a
+  /// `std::unique_ptr<cc::CongestionControl>` in the engine.
+  std::function<cc::CcEngine(const net::PathInfo&)> custom_cc;
 };
 
 struct FlowTiming {

@@ -174,25 +174,24 @@ cc::SwiftParams CcFactory::swift_params(const net::PathInfo& path) const {
   return p;
 }
 
-std::unique_ptr<cc::CongestionControl> CcFactory::make(
-    const net::PathInfo& path) const {
+cc::CcEngine CcFactory::make(const net::PathInfo& path) const {
   if (variant_is_hpcc(variant_)) {
-    return std::make_unique<cc::Hpcc>(hpcc_params(path), &network_.rng());
+    return cc::Hpcc(hpcc_params(path), &network_.rng());
   }
   if (variant_is_swift(variant_)) {
-    return std::make_unique<cc::Swift>(swift_params(path), &network_.rng());
+    return cc::Swift(swift_params(path), &network_.rng());
   }
   if (variant_ == Variant::kDctcp) {
-    return std::make_unique<cc::Dctcp>(cc::DctcpParams{});
+    return cc::Dctcp(cc::DctcpParams{});
   }
   if (variant_ == Variant::kTimely) {
     cc::TimelyParams p;
     p.t_low = path.base_rtt + 2 * sim::kMicrosecond;
     p.t_high = path.base_rtt + 20 * sim::kMicrosecond;
-    return std::make_unique<cc::Timely>(p);
+    return cc::Timely(p);
   }
   assert(variant_ == Variant::kDcqcn);
-  return std::make_unique<cc::Dcqcn>(cc::DcqcnParams{}, network_.simulator());
+  return cc::Dcqcn(cc::DcqcnParams{});
 }
 
 }  // namespace fastcc::exp

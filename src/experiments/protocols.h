@@ -7,15 +7,9 @@
 // benches, and examples all construct identical protocols.
 #pragma once
 
-#include <memory>
 #include <string>
 
-#include "cc/cc.h"
-#include "cc/dcqcn.h"
-#include "cc/dctcp.h"
-#include "cc/timely.h"
-#include "cc/hpcc.h"
-#include "cc/swift.h"
+#include "cc/engine.h"
 #include "net/network.h"
 
 namespace fastcc::exp {
@@ -60,8 +54,9 @@ class CcFactory {
   CcFactory(net::Network& network, Variant variant, bool small_topology,
             std::uint32_t mtu = net::kDefaultMtu);
 
-  /// Creates a configured controller for a flow over `path`.
-  std::unique_ptr<cc::CongestionControl> make(const net::PathInfo& path) const;
+  /// Creates a configured controller for a flow over `path`.  The engine is
+  /// a value: assigning it into FlowTx.cc allocates nothing.
+  cc::CcEngine make(const net::PathInfo& path) const;
 
   Variant variant() const { return variant_; }
   double min_bdp_bytes() const { return min_bdp_bytes_; }

@@ -3,12 +3,11 @@
 
 #include <cstdint>
 #include <limits>
-#include <memory>
 
-#include "cc/cc.h"
+#include "cc/engine.h"
 #include "net/packet.h"
-#include "sim/event_queue.h"
 #include "sim/time.h"
+#include "sim/timing_wheel.h"
 
 namespace fastcc::net {
 
@@ -24,7 +23,8 @@ struct FlowSpec {
 /// Sender-side transmission state for one flow.  Congestion control mutates
 /// `window_bytes` and `rate`; the host NIC enforces both (a packet is
 /// released only when in-flight bytes fit the window *and* the pacing clock
-/// allows it).
+/// allows it).  The controller itself lives inline (cc::CcEngine), so the
+/// whole per-flow sender state is one contiguous, heap-free block.
 struct FlowTx {
   FlowSpec spec;
 
@@ -56,15 +56,28 @@ struct FlowTx {
   sim::Time rto = 0;               ///< 0 = derive as 3 x base_rtt at start.
   sim::Time last_progress_time = 0;
   sim::Time last_retransmit_time = -1;
-  sim::EventId rto_timer = 0;
+  sim::TimerId rto_timer = 0;      ///< On the host's timing wheel.
   bool rto_timer_armed = false;
 
-  // Pacing bookkeeping (owned by Host).
+  // Pacing bookkeeping (owned by Host).  A flow waiting out its pacing gap
+  // holds one entry in the host NIC arbiter's ready queue instead of a
+  // per-flow timer event; `pacing_queued` guards that at most one entry per
+  // flow exists.
   sim::Time next_tx_time = 0;
-  sim::EventId pacing_timer = 0;
-  bool pacing_timer_armed = false;
+  bool pacing_queued = false;
 
-  std::unique_ptr<cc::CongestionControl> cc;
+  // Controller-internal deadline (DCQCN recovery), mirrored onto the host
+  // wheel; cc_timer_at caches the armed deadline so unchanged deadlines
+  // skip the cancel/re-arm round trip.
+  sim::TimerId cc_timer = 0;
+  sim::Time cc_timer_at = -1;
+
+  /// This flow's current contribution to Host::total_send_rate(): its
+  /// min(rate, line_rate) while unfinished, else 0.  Maintained by the Host
+  /// wherever the controller can change `rate` (see sync_rate_contribution).
+  sim::Rate rate_contribution = 0.0;
+
+  cc::CcEngine cc;
 
   std::uint64_t inflight_bytes() const { return snd_nxt - cum_acked; }
   bool all_sent() const { return snd_nxt >= spec.size_bytes; }

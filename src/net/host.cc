@@ -8,7 +8,7 @@ namespace fastcc::net {
 
 void Host::start_flow(FlowTx flow) {
   assert(flow.spec.src == id() && "flow must be sourced at this host");
-  assert(flow.cc != nullptr && "flow needs a congestion controller");
+  assert(static_cast<bool>(flow.cc) && "flow needs a congestion controller");
   assert(flow.line_rate > 0 && flow.base_rtt > 0 && flow.mtu > 0);
   const FlowId fid = flow.spec.id;
   auto [slot, inserted] = tx_flows_.try_emplace(fid, std::move(flow));
@@ -18,7 +18,9 @@ void Host::start_flow(FlowTx flow) {
   ++active_flows_;
   if (f.rto == 0) f.rto = std::max<sim::Time>(3 * f.base_rtt, min_rto_);
   f.last_progress_time = sim_.now();
-  f.cc->on_flow_start(f);
+  f.cc.on_flow_start(f);
+  sync_rate_contribution(f);
+  sync_cc_timer(f);
   f.next_tx_time = sim_.now();
   try_send(f);
 }
@@ -27,7 +29,7 @@ const FlowTx* Host::flow(FlowId fid) const { return tx_flows_.find(fid); }
 
 FlowTx* Host::mutable_flow(FlowId fid) { return tx_flows_.find(fid); }
 
-sim::Rate Host::total_send_rate() const {
+sim::Rate Host::total_send_rate_recomputed() const {
   // Flows are visited in start order (insertion order), so this double
   // accumulation is reproducible run to run.
   sim::Rate sum = 0.0;
@@ -35,6 +37,14 @@ sim::Rate Host::total_send_rate() const {
     if (!f.finished()) sum += std::min(f.rate, f.line_rate);
   }
   return sum;
+}
+
+void Host::sync_rate_contribution(FlowTx& f) {
+  const sim::Rate want = f.finished() ? 0.0 : std::min(f.rate, f.line_rate);
+  if (want != f.rate_contribution) {
+    rate_sum_ += want - f.rate_contribution;
+    f.rate_contribution = want;
+  }
 }
 
 void Host::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {
@@ -117,23 +127,25 @@ void Host::handle_ack(const Packet& p) {
   ctx.ecn = p.ecn;
   ctx.cnp = p.cnp;
   ctx.ints = std::span<const IntRecord>(p.ints.data(), p.int_count);
-  f.cc->on_ack(ctx, f);
+  f.cc.on_ack(ctx, f);
 
   if (f.cum_acked >= f.spec.size_bytes) {
     f.finish_time = sim_.now();
     assert(active_flows_ > 0);
     --active_flows_;
-    if (f.pacing_timer_armed) {
-      sim_.cancel(f.pacing_timer);
-      f.pacing_timer_armed = false;
-    }
+    // The arbiter entry (if one is queued) dies on pop via this flag.
+    f.pacing_queued = false;
     if (f.rto_timer_armed) {
-      sim_.cancel(f.rto_timer);
+      wheel().cancel(f.rto_timer);
       f.rto_timer_armed = false;
     }
+    sync_cc_timer(f);          // finished: cancels any pending CC deadline
+    sync_rate_contribution(f);  // contribution drops to zero
     if (on_complete_) on_complete_(f);
     return;
   }
+  sync_rate_contribution(f);
+  sync_cc_timer(f);
   try_send(f);
 }
 
@@ -148,7 +160,7 @@ void Host::try_send(FlowTx& f) {
         static_cast<double>(f.inflight_bytes() + payload) <= f.window_bytes;
     if (!window_ok) return;  // an ACK will reopen the window
     if (sim_.now() < f.next_tx_time) {
-      arm_pacing_timer(f, f.next_tx_time);
+      arm_pacing(f);
       return;
     }
     // Allocate once, here at the sender; downstream the packet travels only
@@ -186,7 +198,7 @@ void Host::arm_rto_timer(FlowTx& f) {
   const FlowId fid = f.spec.id;
   const sim::Time deadline =
       std::max(f.last_progress_time + f.rto, sim_.now() + 1);
-  f.rto_timer = sim_.at(deadline, [this, fid] {
+  f.rto_timer = wheel().arm(deadline, [this, fid] {
     FlowTx* flow_state = mutable_flow(fid);
     if (flow_state == nullptr || flow_state->finished()) return;
     flow_state->rto_timer_armed = false;
@@ -199,16 +211,62 @@ void Host::arm_rto_timer(FlowTx& f) {
   });
 }
 
-void Host::arm_pacing_timer(FlowTx& f, sim::Time when) {
-  if (f.pacing_timer_armed) return;
-  f.pacing_timer_armed = true;
-  const FlowId fid = f.spec.id;
-  f.pacing_timer = sim_.at(when, [this, fid] {
-    FlowTx* flow_state = mutable_flow(fid);
-    if (flow_state == nullptr || flow_state->finished()) return;
-    flow_state->pacing_timer_armed = false;
-    try_send(*flow_state);
-  });
+void Host::sync_cc_timer(FlowTx& f) {
+  const sim::Time want = f.finished() ? -1 : f.cc.next_timer();
+  if (want == f.cc_timer_at) return;
+  if (f.cc_timer_at >= 0) wheel().cancel(f.cc_timer);
+  f.cc_timer_at = want;
+  if (want >= 0) {
+    const FlowId fid = f.spec.id;
+    f.cc_timer = wheel().arm(want, [this, fid] { cc_tick(fid); });
+  }
+}
+
+void Host::cc_tick(FlowId fid) {
+  FlowTx* f = mutable_flow(fid);
+  if (f == nullptr || f->finished()) return;
+  f->cc_timer_at = -1;  // the armed deadline just fired
+  f->cc.on_timer(sim_.now(), *f);
+  sync_rate_contribution(*f);
+  sync_cc_timer(*f);
+}
+
+void Host::arm_pacing(FlowTx& f) {
+  if (f.pacing_queued) return;
+  f.pacing_queued = true;
+  pacing_heap_.push_back(PacingEntry{f.next_tx_time, f.spec.id});
+  std::push_heap(pacing_heap_.begin(), pacing_heap_.end());
+  // Inside the arbiter's own drain loop the tail re-arm covers new entries.
+  if (!in_nic_tick_) arm_nic_timer(f.next_tx_time);
+}
+
+void Host::arm_nic_timer(sim::Time at) {
+  if (nic_timer_armed_ && nic_timer_at_ <= at) return;
+  if (nic_timer_armed_) wheel().cancel(nic_timer_);
+  nic_timer_armed_ = true;
+  nic_timer_at_ = at;
+  nic_timer_ = wheel().arm(at, [this] { nic_tick(); });
+}
+
+void Host::nic_tick() {
+  nic_timer_armed_ = false;
+  nic_timer_at_ = -1;
+  in_nic_tick_ = true;
+  const sim::Time now = sim_.now();
+  while (!pacing_heap_.empty() && pacing_heap_.front().at <= now) {
+    std::pop_heap(pacing_heap_.begin(), pacing_heap_.end());
+    const PacingEntry e = pacing_heap_.back();
+    pacing_heap_.pop_back();
+    FlowTx* f = tx_flows_.find(e.id);
+    // Entries are hints: skip flows that finished or already got service
+    // (their pacing_queued flag was cleared); a flow whose next_tx_time
+    // moved later simply re-queues from try_send.
+    if (f == nullptr || f->finished() || !f->pacing_queued) continue;
+    f->pacing_queued = false;
+    try_send(*f);
+  }
+  in_nic_tick_ = false;
+  if (!pacing_heap_.empty()) arm_nic_timer(pacing_heap_.front().at);
 }
 
 }  // namespace fastcc::net

@@ -6,10 +6,17 @@
 // (Swift), and pure rate (DCQCN, window unlimited).  Receivers generate one
 // ACK per data packet carrying the echoed INT stack, RTT timestamp, ECN echo,
 // and (rate-limited) DCQCN CNP flag.
+//
+// All per-flow timers live on the node's timing wheel, not the global event
+// queue: a single NIC arbiter wakeup serves every pacing-blocked flow
+// (earliest next_tx_time first, FlowId tie-break), and RTO / CC-recovery
+// deadlines are wheel entries.  The simulator sees at most one pending
+// event per host.
 #pragma once
 
 #include <cstdint>
 #include <functional>
+#include <vector>
 
 #include "net/flow.h"
 #include "net/node.h"
@@ -49,7 +56,12 @@ class Host : public Node {
   std::size_t active_flow_count() const { return active_flows_; }
 
   /// Sum of current pacing rates of unfinished flows (fairness sampling).
-  sim::Rate total_send_rate() const;
+  /// O(1): maintained incrementally via FlowTx::rate_contribution.
+  sim::Rate total_send_rate() const { return rate_sum_; }
+
+  /// The O(n) reference sum, retained for the equivalence test that pins the
+  /// incremental bookkeeping to the definition.
+  sim::Rate total_send_rate_recomputed() const;
 
  protected:
   void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
@@ -58,8 +70,20 @@ class Host : public Node {
   void handle_data(const Packet& p);
   void handle_ack(const Packet& p);
   void try_send(FlowTx& f);
-  void arm_pacing_timer(FlowTx& f, sim::Time when);
+  /// Queues `f` with the NIC arbiter for service at f.next_tx_time.
+  void arm_pacing(FlowTx& f);
+  /// Ensures the arbiter's wheel timer covers a wakeup at `at`.
+  void arm_nic_timer(sim::Time at);
+  /// NIC arbiter wakeup: serves every due pacing-blocked flow in
+  /// (next_tx_time, FlowId) order, then re-arms for the next one.
+  void nic_tick();
   void arm_rto_timer(FlowTx& f);
+  /// Mirrors the controller's internal deadline (if any) onto the wheel.
+  void sync_cc_timer(FlowTx& f);
+  void cc_tick(FlowId fid);
+  /// Re-derives f.rate_contribution after any controller callout and folds
+  /// the delta into rate_sum_.
+  void sync_rate_contribution(FlowTx& f);
   /// Go-back-N: rewinds snd_nxt to the cumulative ACK point.
   void retransmit_from_cum_ack(FlowTx& f);
 
@@ -69,11 +93,32 @@ class Host : public Node {
     sim::Time last_cnp_time = -1;
   };
 
-  // Insertion-ordered so that aggregate walks (total_send_rate's double
-  // accumulation) visit flows in start order, not hash order.
+  /// NIC arbiter ready-queue entry.  Entries are scheduling *hints*: a
+  /// flow's next_tx_time may move later after its entry was pushed (the
+  /// entry then wakes the arbiter early and the flow simply re-queues), and
+  /// a finished flow's entry is skipped on pop via the pacing_queued flag.
+  struct PacingEntry {
+    sim::Time at = 0;
+    FlowId id = 0;
+    /// std::push/pop_heap build a max-heap; invert to serve the earliest
+    /// (next_tx_time, FlowId) first — the deterministic tie-break.
+    bool operator<(const PacingEntry& o) const {
+      if (at != o.at) return at > o.at;
+      return id > o.id;
+    }
+  };
+
+  // Insertion-ordered so that aggregate walks (the equivalence recompute's
+  // double accumulation) visit flows in start order, not hash order.
   util::InsertionOrderedMap<FlowId, FlowTx> tx_flows_;
   util::InsertionOrderedMap<FlowId, RxState> rx_flows_;
   std::size_t active_flows_ = 0;
+  sim::Rate rate_sum_ = 0.0;
+  std::vector<PacingEntry> pacing_heap_;
+  sim::TimerId nic_timer_ = 0;
+  sim::Time nic_timer_at_ = -1;
+  bool nic_timer_armed_ = false;
+  bool in_nic_tick_ = false;
   CompletionCallback on_complete_;
   sim::Time cnp_interval_ = 50 * sim::kMicrosecond;
   sim::Time min_rto_ = 1 * sim::kMillisecond;

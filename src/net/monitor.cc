@@ -13,15 +13,19 @@ QueueMonitor::QueueMonitor(sim::Simulator& simulator, const Port& port,
       series_(std::move(label)),
       keep_running_(std::move(keep_running)) {}
 
-void QueueMonitor::start() {
-  sim_.after(interval_, [this] { sample(); });
+void QueueMonitor::arm_next() {
+  if (wheel_ != nullptr) {
+    wheel_->arm(sim_.now() + interval_, [this] { sample(); });
+  } else {
+    sim_.after(interval_, [this] { sample(); });
+  }
 }
+
+void QueueMonitor::start() { arm_next(); }
 
 void QueueMonitor::sample() {
   series_.add(sim_.now(), static_cast<double>(port_.data_queue_bytes()));
-  if (keep_running_ == nullptr || keep_running_()) {
-    sim_.after(interval_, [this] { sample(); });
-  }
+  if (keep_running_ == nullptr || keep_running_()) arm_next();
 }
 
 UtilizationMonitor::UtilizationMonitor(sim::Simulator& simulator,
@@ -34,9 +38,17 @@ UtilizationMonitor::UtilizationMonitor(sim::Simulator& simulator,
       series_(std::move(label)),
       keep_running_(std::move(keep_running)) {}
 
+void UtilizationMonitor::arm_next() {
+  if (wheel_ != nullptr) {
+    wheel_->arm(sim_.now() + interval_, [this] { sample(); });
+  } else {
+    sim_.after(interval_, [this] { sample(); });
+  }
+}
+
 void UtilizationMonitor::start() {
   last_tx_bytes_ = port_.tx_bytes_total();
-  sim_.after(interval_, [this] { sample(); });
+  arm_next();
 }
 
 void UtilizationMonitor::sample() {
@@ -46,9 +58,7 @@ void UtilizationMonitor::sample() {
   const double capacity =
       port_.bandwidth() * static_cast<double>(interval_);
   series_.add(sim_.now(), capacity > 0.0 ? sent / capacity : 0.0);
-  if (keep_running_ == nullptr || keep_running_()) {
-    sim_.after(interval_, [this] { sample(); });
-  }
+  if (keep_running_ == nullptr || keep_running_()) arm_next();
 }
 
 double UtilizationMonitor::mean_utilization() const {

@@ -11,6 +11,7 @@
 
 #include "net/port.h"
 #include "sim/simulator.h"
+#include "sim/timing_wheel.h"
 #include "stats/timeseries.h"
 
 namespace fastcc::net {
@@ -27,14 +28,21 @@ class QueueMonitor {
   void start();
   const stats::TimeSeries& series() const { return series_; }
 
+  /// Routes the periodic re-arm through a node's timing wheel (usually the
+  /// monitored port's owner), keeping the sampler off the global event
+  /// queue.  Call before start().
+  void ride_wheel(sim::WheelScheduler* wheel) { wheel_ = wheel; }
+
  private:
   void sample();
+  void arm_next();
 
   sim::Simulator& sim_;
   const Port& port_;
   sim::Time interval_;
   stats::TimeSeries series_;
   std::function<bool()> keep_running_;
+  sim::WheelScheduler* wheel_ = nullptr;
 };
 
 /// Samples the delivered throughput (bytes/ns) of one egress port per
@@ -51,14 +59,19 @@ class UtilizationMonitor {
   /// Mean utilization across all samples so far.
   double mean_utilization() const;
 
+  /// See QueueMonitor::ride_wheel.
+  void ride_wheel(sim::WheelScheduler* wheel) { wheel_ = wheel; }
+
  private:
   void sample();
+  void arm_next();
 
   sim::Simulator& sim_;
   const Port& port_;
   sim::Time interval_;
   stats::TimeSeries series_;
   std::function<bool()> keep_running_;
+  sim::WheelScheduler* wheel_ = nullptr;
   std::uint64_t last_tx_bytes_ = 0;
 };
 

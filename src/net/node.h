@@ -16,6 +16,7 @@
 #include "net/packet_pool.h"
 #include "net/port.h"
 #include "sim/simulator.h"
+#include "sim/timing_wheel.h"
 #include "util/contracts.h"
 
 namespace fastcc::net {
@@ -64,6 +65,11 @@ class Node {
 
   sim::Simulator& simulator() { return sim_; }
 
+  /// This node's timing wheel: however many local timers (pacing, RTO,
+  /// CC recovery, monitor sampling) are pending, the global event queue
+  /// carries at most one entry for this node.
+  sim::WheelScheduler& wheel() { return wheel_; }
+
  protected:
   /// Subclass packet handling (forwarding for switches, host protocol).
   /// The callee owns the handle: forward it or release it.
@@ -75,6 +81,8 @@ class Node {
   sim::Simulator& sim_;
 
  private:
+  sim::WheelScheduler wheel_{sim_};
+
   void pfc_account(int in_port, std::int64_t delta_bytes);
   void send_pfc(int in_port, bool pause);
 

@@ -116,7 +116,14 @@ void Port::start_tx() {
   // The packet has left this node's buffer: release PFC accounting.
   owner_->on_packet_departed(p);
 
-  const sim::Time tx_time = sim::serialization_time(p.wire_bytes, bandwidth_);
+  // A port sees a handful of wire sizes (full-MTU data, ACKs), so memoize
+  // the last size -> serialization-time mapping and skip the FP division on
+  // the streak.  Bandwidth is fixed after connect(), so size alone keys it.
+  if (p.wire_bytes != last_ser_bytes_) {
+    last_ser_bytes_ = p.wire_bytes;
+    last_ser_time_ = sim::serialization_time(p.wire_bytes, bandwidth_);
+  }
+  const sim::Time tx_time = last_ser_time_;
   wire_free_time_ = sim_.now() + tx_time;
 
   // Fused per-hop event: the peer's delivery is scheduled directly at

@@ -112,6 +112,10 @@ class Port {
   /// The wire is serializing until this instant; a new transmission may
   /// start at any now >= wire_free_time_.
   sim::Time wire_free_time_ = 0;
+  // Memo for start_tx's serialization-time lookup (size -> time at the
+  // port's fixed bandwidth); wire sizes repeat heavily per port.
+  std::uint32_t last_ser_bytes_ = 0;
+  sim::Time last_ser_time_ = 0;
   /// A dequeue kick is already scheduled (at most one outstanding).
   bool kick_armed_ = false;
   bool paused_ = false;

@@ -35,7 +35,11 @@ int SwitchNode::select_port(NodeId dst, FlowId flow, NodeId src) const {
                             (static_cast<std::uint64_t>(src) << 16) ^ dst;
   // Salt with the switch id so consecutive tiers don't make correlated picks.
   const std::uint64_t h = mix64(key ^ (static_cast<std::uint64_t>(id()) << 48));
-  return candidates[h % candidates.size()];
+  // Lemire range reduction: (h * n) >> 64 maps the well-mixed hash onto
+  // [0, n) without the per-packet 64-bit modulo.
+  const auto pick = static_cast<std::size_t>(
+      (static_cast<unsigned __int128>(h) * candidates.size()) >> 64);
+  return candidates[pick];
 }
 
 void SwitchNode::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {

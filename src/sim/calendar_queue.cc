@@ -1,38 +1,39 @@
 #include "sim/calendar_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <utility>
 
 namespace fastcc::sim {
 
-CalendarQueue::CalendarQueue(std::size_t initial_buckets, Time initial_width)
-    : width_(std::max<Time>(initial_width, 1)) {
+CalendarQueue::CalendarQueue(std::size_t initial_buckets, Time initial_width) {
+  set_width(initial_width);
   // Power-of-two bucket count enables mask-based hashing.
   std::size_t n = 1;
   while (n < initial_buckets) n <<= 1;
   buckets_.resize(n);
 }
 
-CalendarQueue::Id CalendarQueue::schedule(Time at, Callback cb) {
-  const std::uint64_t seq = next_seq_++;
-  const Id id = slots_.acquire(std::move(cb));
-  buckets_[bucket_of(at)].push_back(Entry{at, seq, id});
-  maybe_resize();
-  return id;
+void CalendarQueue::set_width(Time width) {
+  // Round up to a power of two (at most 2x off the calibrated target, well
+  // inside the heuristic's slack) so day extraction compiles to a shift.
+  const auto w = std::bit_ceil(
+      static_cast<std::uint64_t>(std::max<Time>(width, 1)));
+  width_ = static_cast<Time>(w);
+  width_shift_ = std::countr_zero(w);
 }
-
-bool CalendarQueue::cancel(Id id) { return slots_.cancel(id); }
 
 void CalendarQueue::drop_dead(std::vector<Entry>& bucket) {
   // An entry physically present whose handle is no longer live was cancelled
-  // (pops remove entries eagerly), so it can be reclaimed here lazily.
+  // (pops remove entries eagerly), so it can be reclaimed here lazily.  With
+  // no cancellations outstanding there is nothing to look for, and the
+  // per-entry slot-pool lookups (a cache miss each) are skipped wholesale.
+  if (pending_dead_ == 0) return;
   for (std::size_t i = 0; i < bucket.size();) {
     if (!slots_.is_live(bucket[i].id)) {
-      slots_.release(bucket[i].id);
-      bucket[i] = bucket.back();
-      bucket.pop_back();
+      reclaim_at(bucket, i);
     } else {
       ++i;
     }
@@ -41,42 +42,92 @@ void CalendarQueue::drop_dead(std::vector<Entry>& bucket) {
 
 std::pair<std::size_t, std::size_t> CalendarQueue::find_min() {
   assert(!empty());
+  // A runner-up recorded by an earlier scan may have been invalidated by
+  // schedules or cancels since; only the one produced inside the current
+  // take_next call (no interleaving possible) is ever consumed.
+  second_valid_ = false;
+  if (cached_valid_) {
+    assert(buckets_[cached_.bucket][cached_.index].seq == cached_.seq);
+    return {cached_.bucket, cached_.index};
+  }
   const std::size_t mask = buckets_.size() - 1;
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
   // Phase 1: walk day-by-day from the last popped timestamp; the first
   // bucket holding an event belonging to the current day yields the minimum.
-  std::uint64_t day = static_cast<std::uint64_t>(last_popped_ / width_);
+  // One fused pass per bucket: cancelled entries are reclaimed in the same
+  // sweep that tests day membership, and membership is an interval check
+  // against the day's [start, end) window rather than a per-entry division.
+  // The same sweep records the day's runner-up: every entry outside this day
+  // fires at or after day_end, strictly later than anything inside it, so
+  // the in-day second-best is the global second-best.
+  std::uint64_t day = static_cast<std::uint64_t>(last_popped_) >> width_shift_;
   for (std::size_t step = 0; step < buckets_.size(); ++step, ++day) {
     const std::size_t bi = static_cast<std::size_t>(day) & mask;
     std::vector<Entry>& bucket = buckets_[bi];
-    drop_dead(bucket);
-    std::size_t best = bucket.size();
-    for (std::size_t i = 0; i < bucket.size(); ++i) {
-      if (static_cast<std::uint64_t>(bucket[i].at / width_) != day) continue;
-      if (best == bucket.size() || bucket[i].at < bucket[best].at ||
-          (bucket[i].at == bucket[best].at &&
-           bucket[i].seq < bucket[best].seq)) {
-        best = i;
+    const Time day_start = static_cast<Time>(day << width_shift_);
+    const Time day_end = day_start + width_;
+    std::size_t best = npos, second = npos;
+    for (std::size_t i = 0; i < bucket.size();) {
+      if (pending_dead_ != 0 && !slots_.is_live(bucket[i].id)) {
+        // Swap-with-back removal re-examines the swapped-in tail at the same
+        // index.  Neither candidate can point at the tail here: best,
+        // second <= i (only already-scanned entries are candidates) and
+        // i < size() - 1 unless i is the tail itself, in which case
+        // bucket[i] is dead and both candidates are < i.
+        reclaim_at(bucket, i);
+        continue;
       }
+      const Entry& e = bucket[i];
+      if (e.at >= day_start && e.at < day_end) {
+        if (best == npos || e.at < bucket[best].at ||
+            (e.at == bucket[best].at && e.seq < bucket[best].seq)) {
+          second = best;
+          best = i;
+        } else if (second == npos || e.at < bucket[second].at ||
+                   (e.at == bucket[second].at && e.seq < bucket[second].seq)) {
+          second = i;
+        }
+      }
+      ++i;
     }
-    if (best != bucket.size()) return {bi, best};
+    if (best != npos) {
+      cache_from(bi, best, cached_);
+      cached_valid_ = true;
+      if (second != npos) {
+        cache_from(bi, second, second_);
+        second_valid_ = true;
+      }
+      return {bi, best};
+    }
   }
-  // Phase 2 (sparse population): global scan.
-  std::size_t min_b = buckets_.size(), min_i = 0;
-  Time min_t = std::numeric_limits<Time>::max();
-  std::uint64_t min_seq = std::numeric_limits<std::uint64_t>::max();
+  // Phase 2 (sparse population): global scan, tracking best and runner-up.
+  std::size_t min_b = npos, min_i = 0, sec_b = npos, sec_i = 0;
   for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
     drop_dead(buckets_[bi]);
     for (std::size_t i = 0; i < buckets_[bi].size(); ++i) {
       const Entry& e = buckets_[bi][i];
-      if (e.at < min_t || (e.at == min_t && e.seq < min_seq)) {
-        min_t = e.at;
-        min_seq = e.seq;
+      if (min_b == npos || e.at < buckets_[min_b][min_i].at ||
+          (e.at == buckets_[min_b][min_i].at &&
+           e.seq < buckets_[min_b][min_i].seq)) {
+        sec_b = min_b;
+        sec_i = min_i;
         min_b = bi;
         min_i = i;
+      } else if (sec_b == npos || e.at < buckets_[sec_b][sec_i].at ||
+                 (e.at == buckets_[sec_b][sec_i].at &&
+                  e.seq < buckets_[sec_b][sec_i].seq)) {
+        sec_b = bi;
+        sec_i = i;
       }
     }
   }
-  assert(min_b < buckets_.size());
+  assert(min_b != npos);
+  cache_from(min_b, min_i, cached_);
+  cached_valid_ = true;
+  if (sec_b != npos) {
+    cache_from(sec_b, sec_i, second_);
+    second_valid_ = true;
+  }
   return {min_b, min_i};
 }
 
@@ -84,19 +135,6 @@ Time CalendarQueue::next_time() {
   assert(!empty());
   const auto [bi, i] = find_min();
   return buckets_[bi][i].at;
-}
-
-Time CalendarQueue::take_next(Time until, Callback& out) {
-  if (empty()) return kNoEventTime;
-  const auto [bi, i] = find_min();
-  const Entry entry = buckets_[bi][i];
-  if (entry.at > until) return kNoEventTime;
-  buckets_[bi][i] = buckets_[bi].back();
-  buckets_[bi].pop_back();
-  slots_.release_into(entry.id, out);
-  last_popped_ = entry.at;
-  maybe_resize();
-  return entry.at;
 }
 
 Time CalendarQueue::pop_and_run() {
@@ -108,16 +146,10 @@ Time CalendarQueue::pop_and_run() {
   return at;
 }
 
-void CalendarQueue::maybe_resize() {
-  const std::size_t live = slots_.live();
-  if (live > 2 * buckets_.size()) {
-    rebuild(buckets_.size() * 2, width_);
-  } else if (buckets_.size() > 16 && live < buckets_.size() / 4) {
-    rebuild(buckets_.size() / 2, width_);
-  }
-}
-
 void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
+  // Entries relocate wholesale; any cached position is garbage afterwards.
+  cached_valid_ = false;
+  second_valid_ = false;
   std::vector<Entry> all;
   all.reserve(slots_.live());
   Time min_t = std::numeric_limits<Time>::max();
@@ -155,7 +187,7 @@ void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
     // get narrow days instead of one overstuffed bucket.
     const std::size_t mid = gaps.size() / 2;
     std::nth_element(gaps.begin(), gaps.begin() + mid, gaps.end());
-    width_ = std::max<Time>(1, 3 * gaps[mid]);
+    set_width(3 * gaps[mid]);
   }
   for (const Entry& e : all) {
     buckets_[bucket_of(e.at)].push_back(e);

@@ -13,6 +13,7 @@
 // never touch a hash set.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -30,8 +31,36 @@ class CalendarQueue {
   explicit CalendarQueue(std::size_t initial_buckets = 16,
                          Time initial_width = 1 * kMicrosecond);
 
-  Id schedule(Time at, Callback cb);
-  bool cancel(Id id);
+  Id schedule(Time at, Callback cb) {
+    assert(at >= 0);
+    const std::uint64_t seq = next_seq_++;
+    const Id id = slots_.acquire(std::move(cb));
+    const std::size_t bi = bucket_of(at);
+    buckets_[bi].push_back(Entry{at, seq, id});
+    // The cache stays exact through schedules: a later-or-equal entry leaves
+    // the minimum untouched (equal timestamps lose the FIFO tie to the older
+    // cached seq), and a strictly earlier one *is* the new minimum.
+    if ((cached_valid_ && at < cached_.at) || slots_.live() == 1) {
+      cached_ = Cached{at, seq, id, static_cast<std::uint32_t>(bi),
+                       static_cast<std::uint32_t>(buckets_[bi].size() - 1)};
+      cached_valid_ = true;
+    }
+    maybe_resize();
+    return id;
+  }
+
+  bool cancel(Id id) {
+    // The slot pool answers in O(1); the ordering entry is reclaimed lazily
+    // the next time a scan passes over it.  `pending_dead_` counts exactly
+    // those physically-present-but-cancelled entries, so scans skip the
+    // per-entry liveness lookup entirely while the count is zero — the
+    // overwhelmingly common state, since simulations cancel timers rarely
+    // (a retransmission timer on flow completion) but pop constantly.
+    if (!slots_.cancel(id)) return false;
+    ++pending_dead_;
+    if (cached_valid_ && id == cached_.id) cached_valid_ = false;
+    return true;
+  }
 
   bool empty() const { return slots_.live() == 0; }
   std::size_t size() const { return slots_.live(); }
@@ -46,9 +75,42 @@ class CalendarQueue {
   /// If the earliest live event fires at or before `until`, removes it,
   /// moves its callback into `out`, and returns its timestamp; otherwise
   /// returns kNoEventTime and leaves the queue untouched.  This is the
-  /// simulator's hot path: one find_min per event, and the caller advances
-  /// its clock before invoking the callback.
-  Time take_next(Time until, Callback& out);
+  /// simulator's hot path: at most one find_min per event (none when the
+  /// previous scan's runner-up is cached), and the caller advances its
+  /// clock before invoking the callback.
+  Time take_next(Time until, Callback& out) {
+    if (empty()) return kNoEventTime;
+    std::size_t bi, i;
+    if (cached_valid_) {
+      bi = cached_.bucket;
+      i = cached_.index;
+      second_valid_ = false;
+    } else {
+      const auto pos = find_min();
+      bi = pos.first;
+      i = pos.second;
+    }
+    const Entry entry = buckets_[bi][i];
+    if (entry.at > until) return kNoEventTime;
+    buckets_[bi][i] = buckets_[bi].back();
+    buckets_[bi].pop_back();
+    slots_.release_into(entry.id, out);
+    last_popped_ = entry.at;
+    // Promote the scan's runner-up to cached minimum.  If it sat at this
+    // bucket's tail, the swap-with-back above moved it into slot i.
+    if (second_valid_) {
+      if (second_.bucket == bi && second_.index == buckets_[bi].size()) {
+        second_.index = static_cast<std::uint32_t>(i);
+      }
+      cached_ = second_;
+      cached_valid_ = true;
+      second_valid_ = false;
+    } else {
+      cached_valid_ = false;
+    }
+    maybe_resize();
+    return entry.at;
+  }
 
  private:
   struct Entry {
@@ -58,20 +120,76 @@ class CalendarQueue {
   };
 
   std::size_t bucket_of(Time t) const {
-    return static_cast<std::size_t>(t / width_) & (buckets_.size() - 1);
+    // width_ is kept a power of two so day extraction is a shift, not a
+    // 64-bit division (one per schedule and one per pop otherwise).
+    return static_cast<std::size_t>(static_cast<std::uint64_t>(t) >>
+                                    width_shift_) &
+           (buckets_.size() - 1);
   }
 
   /// Locates the earliest live entry; returns (bucket, index-in-bucket).
+  /// Reclaims cancelled entries it passes over (fused into the same scan).
   std::pair<std::size_t, std::size_t> find_min();
 
-  void maybe_resize();
+  void maybe_resize() {
+    const std::size_t live = slots_.live();
+    if (live > 2 * buckets_.size()) {
+      rebuild(buckets_.size() * 2, width_);
+    } else if (buckets_.size() > 16 && live < buckets_.size() / 4) {
+      rebuild(buckets_.size() / 2, width_);
+    }
+  }
+
   void rebuild(std::size_t new_bucket_count, Time new_width);
   void drop_dead(std::vector<Entry>& bucket);
+  /// Sets width_ to the power of two at or above `width` (and width_shift_).
+  void set_width(Time width);
+
+  /// Reclaims the cancelled entry at bucket[i] (swap-with-back removal).
+  /// Physical order within a bucket is irrelevant: min selection is by
+  /// (at, seq) and seq is unique, so reclamation order can never change
+  /// which event pops next.
+  void reclaim_at(std::vector<Entry>& bucket, std::size_t i) {
+    slots_.release(bucket[i].id);
+    bucket[i] = bucket.back();
+    bucket.pop_back();
+    --pending_dead_;
+  }
 
   std::vector<std::vector<Entry>> buckets_;
-  Time width_;
+  Time width_;        ///< Day width; always a power of two.
+  int width_shift_;   ///< log2(width_).
   Time last_popped_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::size_t pending_dead_ = 0;  ///< Cancelled entries not yet reclaimed.
+
+  /// Min-entry cache.  Invariant: while `cached_valid_`, `cached_` names the
+  /// globally earliest live entry *and* its physical position.  Schedules
+  /// preserve it (see schedule()); a cancel of the cached entry drops it;
+  /// entries otherwise only move during full scans and rebuilds, which both
+  /// run with the cache invalid.  find_min's full scan refills the cache and
+  /// additionally records the runner-up within the winning day — provably
+  /// the global second minimum, since every entry outside that day fires
+  /// strictly later — which take_next promotes after popping, making every
+  /// other pop O(1).
+  struct Cached {
+    Time at = 0;
+    std::uint64_t seq = 0;
+    Id id = 0;
+    std::uint32_t bucket = 0;
+    std::uint32_t index = 0;
+  };
+  void cache_from(std::size_t bucket, std::size_t index, Cached& out) const {
+    const Entry& e = buckets_[bucket][index];
+    out = Cached{e.at, e.seq, e.id, static_cast<std::uint32_t>(bucket),
+                 static_cast<std::uint32_t>(index)};
+  }
+
+  Cached cached_;
+  bool cached_valid_ = false;
+  Cached second_;       ///< Runner-up from the current full scan only.
+  bool second_valid_ = false;
+
   EventSlotPool slots_;
 };
 

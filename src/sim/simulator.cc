@@ -1,13 +1,6 @@
 #include "sim/simulator.h"
 
-#include <cassert>
-
 namespace fastcc::sim {
-
-EventId Simulator::at(Time when, Callback cb) {
-  assert(when >= now_ && "cannot schedule into the past");
-  return events_.schedule(when, std::move(cb));
-}
 
 Time Simulator::run(Time until) {
   stopped_ = false;

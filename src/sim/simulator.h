@@ -5,6 +5,7 @@
 // order until the queue empties, a deadline passes, or stop() is called.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
 #include <limits>
 #include <utility>
@@ -36,7 +37,10 @@ class Simulator {
   Time now() const { return now_; }
 
   /// Schedules `cb` at absolute time `at` (must be >= now()).
-  EventId at(Time when, Callback cb);
+  EventId at(Time when, Callback cb) {
+    assert(when >= now_ && "cannot schedule into the past");
+    return events_.schedule(when, std::move(cb));
+  }
 
   /// Schedules `cb` after a relative delay (must be >= 0).
   EventId after(Time delay, Callback cb) {

@@ -34,12 +34,16 @@ class InsertionOrderedMap {
   /// Inserts {key, Value(args...)} if absent.  Returns {pointer, inserted}.
   template <typename... Args>
   std::pair<Value*, bool> try_emplace(const Key& key, Args&&... args) {
+    if (memo_ < entries_.size() && entries_[memo_].first == key) {
+      return {&entries_[memo_].second, false};
+    }
     auto [it, inserted] = index_.try_emplace(key, entries_.size());
     if (inserted) {
       entries_.emplace_back(std::piecewise_construct,
                             std::forward_as_tuple(key),
                             std::forward_as_tuple(std::forward<Args>(args)...));
     }
+    memo_ = it->second;
     return {&entries_[it->second].second, inserted};
   }
 
@@ -47,12 +51,22 @@ class InsertionOrderedMap {
   Value& operator[](const Key& key) { return *try_emplace(key).first; }
 
   Value* find(const Key& key) {
+    if (memo_ < entries_.size() && entries_[memo_].first == key) {
+      return &entries_[memo_].second;
+    }
     auto it = index_.find(key);
-    return it == index_.end() ? nullptr : &entries_[it->second].second;
+    if (it == index_.end()) return nullptr;
+    memo_ = it->second;
+    return &entries_[it->second].second;
   }
   const Value* find(const Key& key) const {
+    if (memo_ < entries_.size() && entries_[memo_].first == key) {
+      return &entries_[memo_].second;
+    }
     auto it = index_.find(key);
-    return it == index_.end() ? nullptr : &entries_[it->second].second;
+    if (it == index_.end()) return nullptr;
+    memo_ = it->second;
+    return &entries_[it->second].second;
   }
   bool contains(const Key& key) const { return index_.count(key) != 0; }
 
@@ -69,6 +83,11 @@ class InsertionOrderedMap {
  private:
   std::vector<Entry> entries_;
   std::unordered_map<Key, std::size_t> index_;
+  /// Index of the last entry hit, bypassing the hash probe on the streaky
+  /// access patterns simulations produce (per-ACK flow lookups).  Indices
+  /// are stable — no erase, growth keeps positions — so a stale memo can
+  /// only miss, never alias.
+  mutable std::size_t memo_ = static_cast<std::size_t>(-1);
 };
 
 }  // namespace fastcc::util

@@ -1,10 +1,14 @@
 // DCQCN unit tests: CNP reaction, alpha dynamics, staged recovery.
+//
+// DCQCN no longer schedules its own simulator events; it exposes deadlines
+// via next_timer() and the owning Host pumps on_timer() from its timing
+// wheel.  The harness plays the Host's role: run_until() fires every due
+// deadline in order, exactly as the wheel would.
 #include "cc/dcqcn.h"
 
 #include <gtest/gtest.h>
 
 #include "net/flow.h"
-#include "sim/simulator.h"
 
 namespace fastcc::cc {
 namespace {
@@ -12,27 +16,37 @@ namespace {
 constexpr sim::Rate kLine = sim::gbps(100);
 
 struct DcqcnHarness {
-  sim::Simulator simulator;
   DcqcnParams params;
   net::FlowTx flow;
-  std::unique_ptr<Dcqcn> cc;
+  Dcqcn cc{params};
+  sim::Time now = 0;
 
   DcqcnHarness() {
     flow.spec.size_bytes = 1'000'000'000;
     flow.line_rate = kLine;
     flow.base_rtt = 5000;
     flow.mtu = 1000;
-    cc = std::make_unique<Dcqcn>(params, simulator);
-    cc->on_flow_start(flow);
+    cc.on_flow_start(flow);
   }
 
   void ack(bool cnp, std::uint32_t bytes = 1000) {
     AckContext ctx;
-    ctx.now = simulator.now();
+    ctx.now = now;
     ctx.rtt = 6000;
     ctx.cnp = cnp;
     ctx.bytes_acked = bytes;
-    cc->on_ack(ctx, flow);
+    cc.on_ack(ctx, flow);
+  }
+
+  /// Fires every controller deadline up to `until`, like the host wheel.
+  void run_until(sim::Time until) {
+    while (true) {
+      const sim::Time t = cc.next_timer();
+      if (t < 0 || t > until) break;
+      now = t;
+      cc.on_timer(now, flow);
+    }
+    now = until;
   }
 };
 
@@ -47,7 +61,7 @@ TEST(Dcqcn, CnpCutsRateByAlphaHalf) {
   // First CNP: alpha ~1 -> rate roughly halves.
   h.ack(true);
   EXPECT_NEAR(h.flow.rate, kLine * 0.5, kLine * 0.01);
-  EXPECT_DOUBLE_EQ(h.cc->target_rate(), kLine);
+  EXPECT_DOUBLE_EQ(h.cc.target_rate(), kLine);
 }
 
 TEST(Dcqcn, RepeatedCnpsKeepCutting) {
@@ -68,9 +82,9 @@ TEST(Dcqcn, RateNeverBelowMinRate) {
 TEST(Dcqcn, AlphaDecaysWithoutCnps) {
   DcqcnHarness h;
   h.ack(true);
-  const double alpha_after_cnp = h.cc->alpha();
-  h.simulator.run(h.simulator.now() + 20 * h.params.alpha_update_interval);
-  EXPECT_LT(h.cc->alpha(), alpha_after_cnp * 0.95);
+  const double alpha_after_cnp = h.cc.alpha();
+  h.run_until(h.now + 20 * h.params.alpha_update_interval);
+  EXPECT_LT(h.cc.alpha(), alpha_after_cnp * 0.95);
 }
 
 TEST(Dcqcn, TimerDrivenRecoveryClimbsBackTowardTarget) {
@@ -79,7 +93,7 @@ TEST(Dcqcn, TimerDrivenRecoveryClimbsBackTowardTarget) {
   const double cut_rate = h.flow.rate;
   // Let several increase-timer periods elapse (fast recovery halves the gap
   // to the pre-cut target each time).
-  h.simulator.run(h.simulator.now() + 6 * h.params.rate_increase_timer);
+  h.run_until(h.now + 6 * h.params.rate_increase_timer);
   EXPECT_GT(h.flow.rate, cut_rate * 1.5);
 }
 
@@ -98,19 +112,18 @@ TEST(Dcqcn, HyperIncreaseAfterManyQuietStages) {
   h.ack(true);
   // Run long enough for timer stages to pass fast recovery into additive /
   // hyper territory: rate should recover essentially to line rate.
-  h.simulator.run(h.simulator.now() + 60 * h.params.rate_increase_timer);
+  h.run_until(h.now + 60 * h.params.rate_increase_timer);
   EXPECT_GT(h.flow.rate, 0.95 * kLine);
 }
 
-TEST(Dcqcn, TimersStopOnceFlowFinishes) {
+TEST(Dcqcn, TimersQuiesceAfterFullRecovery) {
   DcqcnHarness h;
   h.ack(true);
-  h.flow.finish_time = h.simulator.now();  // flow completes
-  // Each armed timer may fire once more, observe the finished flow, and must
-  // not re-arm — otherwise simulations would never drain their event queues.
-  const auto executed = h.simulator.events_executed();
-  h.simulator.run(h.simulator.now() + 100 * h.params.rate_increase_timer);
-  EXPECT_LE(h.simulator.events_executed() - executed, 2u);
+  // Once the rate snaps back to line and alpha decays away, next_timer()
+  // must report no deadline — otherwise the owning host's wheel would tick
+  // forever and simulations would never drain their event queues.
+  h.run_until(h.now + 5000 * h.params.alpha_update_interval);
+  EXPECT_EQ(h.cc.next_timer(), sim::Time{-1});
 }
 
 TEST(Dcqcn, RecoveryTimerQuiescesAtLineRate) {
@@ -118,14 +131,14 @@ TEST(Dcqcn, RecoveryTimerQuiescesAtLineRate) {
   h.ack(true);
   // Long quiet period: rate snaps back to exactly line rate and the
   // increase timer stops re-arming (alpha decay may still tick).
-  h.simulator.run(h.simulator.now() + 100 * h.params.rate_increase_timer);
+  h.run_until(h.now + 100 * h.params.rate_increase_timer);
   EXPECT_DOUBLE_EQ(h.flow.rate, kLine);
 }
 
 TEST(Dcqcn, CnpAfterRecoveryRestartsCycle) {
   DcqcnHarness h;
   h.ack(true);
-  h.simulator.run(h.simulator.now() + 60 * h.params.rate_increase_timer);
+  h.run_until(h.now + 60 * h.params.rate_increase_timer);
   ASSERT_GT(h.flow.rate, 0.9 * kLine);
   h.ack(true);
   EXPECT_LT(h.flow.rate, 0.8 * kLine);

@@ -58,5 +58,36 @@ TEST(DeterminismGolden, Incast16To1HpccIsByteIdenticalAcrossReruns) {
   expect_bytewise_equal(first.utilization, second.utilization, "utilization");
 }
 
+TEST(DeterminismGolden, LossyIncastWithRtoRecoveryIsByteIdentical) {
+  // The lossless golden above never exercises the recovery machinery.  This
+  // one caps the bottleneck buffer with PFC off, so the synchronized burst
+  // overflows: drops, duplicate ACKs, go-back-N, and retransmission timers
+  // (now on the per-host timing wheel) all fire — and the two runs must
+  // still trace byte-identical schedules.
+  IncastConfig c = hpcc_incast16();
+  c.buffer_limit_bytes = 40'000;  // a few dozen MTUs: guaranteed overflow
+  const IncastResult first = run_incast(c);
+  const IncastResult second = run_incast(c);
+
+  // The scenario must actually be lossy, or this golden silently collapses
+  // into the lossless one.
+  ASSERT_GT(first.drops, 0u);
+
+  EXPECT_EQ(first.events_executed, second.events_executed);
+  EXPECT_EQ(first.drops, second.drops);
+  EXPECT_EQ(first.completion_time, second.completion_time);
+
+  ASSERT_EQ(first.flows.size(), second.flows.size());
+  for (std::size_t i = 0; i < first.flows.size(); ++i) {
+    EXPECT_EQ(first.flows[i].id, second.flows[i].id) << "flow " << i;
+    EXPECT_EQ(first.flows[i].start, second.flows[i].start) << "flow " << i;
+    EXPECT_EQ(first.flows[i].finish, second.flows[i].finish) << "flow " << i;
+  }
+
+  expect_bytewise_equal(first.jain, second.jain, "jain");
+  expect_bytewise_equal(first.queue_bytes, second.queue_bytes, "queue_bytes");
+  expect_bytewise_equal(first.utilization, second.utilization, "utilization");
+}
+
 }  // namespace
 }  // namespace fastcc::exp

@@ -130,6 +130,37 @@ TEST_F(HostHarness, ConcurrentFlowsShareTheNic) {
   EXPECT_GT(simulator.now(), 2 * 100 * 1048 * 8 / 1000 / 2);
 }
 
+TEST_F(HostHarness, IncrementalRateSumMatchesRecompute) {
+  // Host::total_send_rate() folds per-flow deltas into a running sum (O(1)
+  // per CC update) instead of summing all flows per monitor sample.  It must
+  // track the O(n) recompute through flow start, rate divergence, and the
+  // contribution dropping to zero at finish — within FP accumulation error.
+  Host* src = star.hosts[0];
+  Host* d1 = star.hosts[1];
+  Host* d2 = star.hosts[2];
+  src->start_flow(make_flow(1, src, d1, 200'000,
+                            std::make_unique<FixedCc>(1e12, sim::gbps(40))));
+  src->start_flow(make_flow(2, src, d2, 50'000,
+                            std::make_unique<FixedCc>(1e12, sim::gbps(25))));
+  int samples = 0;
+  for (int i = 1; i <= 40; ++i) {
+    simulator.after(i * 2 * sim::kMicrosecond, [&] {
+      ++samples;
+      EXPECT_NEAR(src->total_send_rate(), src->total_send_rate_recomputed(),
+                  1e-6 * (1.0 + src->total_send_rate_recomputed()))
+          << "at t=" << simulator.now();
+    });
+  }
+  simulator.run();
+  EXPECT_EQ(samples, 40);
+  // Both flows done: the incremental sum must have returned exactly to the
+  // recomputed value (zero), not drifted.
+  EXPECT_TRUE(src->flow(1)->finished());
+  EXPECT_TRUE(src->flow(2)->finished());
+  EXPECT_NEAR(src->total_send_rate(), 0.0, 1e-6);
+  EXPECT_EQ(src->total_send_rate_recomputed(), 0.0);
+}
+
 TEST_F(HostHarness, CompletionCallbackFiresOnce) {
   Host* src = star.hosts[0];
   Host* dst = star.hosts[1];

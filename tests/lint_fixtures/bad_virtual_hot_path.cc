@@ -1,0 +1,29 @@
+// fastcc-lint fixture: virtual dispatch on the sender hot path.  The file
+// name contains "virtual_hot_path", which opts it into the hot-path gate
+// the same way src/net/host.* and src/cc/ are.  Per-ACK controller dispatch
+// must go through cc::CcEngine's static variant arms; a virtual interface
+// or a heap-boxed controller costs an indirect call per acknowledged
+// packet.  Never compiled; exercised by --self-test.
+
+namespace fastcc::bad {
+
+// A hand-rolled controller interface: every member re-introduces the
+// per-ACK vtable hop that CcEngine exists to remove.
+class MyController {
+ public:
+  virtual ~MyController() = default;  // expect-lint: virtual-hot-path
+  virtual void on_ack(const cc::AckContext& ack,  // expect-lint: virtual-hot-path
+                      net::FlowTx& flow) = 0;
+};
+
+// Boxing the controller puts an allocation per flow and a pointer chase
+// per ACK back on the path FlowTx was flattened to avoid.
+struct FlowState {
+  std::unique_ptr<cc::CongestionControl> controller;  // expect-lint: virtual-hot-path
+};
+
+void install(FlowState& st, std::unique_ptr<cc::CongestionControl> cc) {  // expect-lint: virtual-hot-path
+  st.controller = std::move(cc);
+}
+
+}  // namespace fastcc::bad

@@ -1,0 +1,30 @@
+// fastcc-lint fixture: hot-path code that dispatches statically and must
+// produce ZERO findings.  The file name opts into the virtual-hot-path
+// gate; everything here is the sanctioned replacement idiom — controllers
+// held by value inside cc::CcEngine, boxes of unrelated types untouched.
+// Never compiled; exercised by --self-test.
+
+namespace fastcc::good {
+
+// Controllers live by value in the engine; dispatch switches on the
+// engine's kind tag instead of a vtable.
+struct FlowState {
+  cc::CcEngine engine;
+};
+
+void on_ack(FlowState& st, const cc::AckContext& ack, net::FlowTx& flow) {
+  st.engine.on_ack(ack, flow);
+}
+
+// unique_ptr of anything else is fine — only boxed controllers re-open the
+// per-ACK indirection.  `virtual_cc` and friends are single identifiers,
+// not the `virtual` keyword.
+struct Diagnostics {
+  std::unique_ptr<std::string> label;
+};
+
+const char* engine_name(const cc::CcEngine& engine) {
+  return engine.name();
+}
+
+}  // namespace fastcc::good

@@ -56,7 +56,7 @@ TEST_F(FactoryHarness, EveryVariantConstructs) {
         Variant::kDctcp}) {
     CcFactory f(network, v, true);
     auto cc = f.make(path);
-    ASSERT_NE(cc, nullptr) << variant_name(v);
+    ASSERT_TRUE(static_cast<bool>(cc)) << variant_name(v);
   }
 }
 
