@@ -6,6 +6,7 @@
 
 #include "bench_util.h"
 #include "experiments/datacenter.h"
+#include "experiments/sharded.h"
 #include "stats/fct.h"
 #include "stats/percentile.h"
 
@@ -17,6 +18,7 @@ struct FctBenchOptions {
   double load = 0.5;
   int groups = 20;               ///< Flow-size groups per table.
   std::uint64_t seed = 1;
+  int shards = 0;                ///< --shards N: pod-sharded run, N workers.
 };
 
 inline FctBenchOptions parse_fct_options(int argc, char** argv) {
@@ -28,6 +30,7 @@ inline FctBenchOptions parse_fct_options(int argc, char** argv) {
   opt.load = static_cast<double>(flag_value(argc, argv, "--load-pct", 50)) / 100.0;
   opt.groups = static_cast<int>(flag_value(argc, argv, "--groups", opt.full_scale ? 100 : 20));
   opt.seed = static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1));
+  opt.shards = static_cast<int>(flag_value(argc, argv, "--shards", 0));
   return opt;
 }
 
@@ -42,10 +45,14 @@ inline void run_fct_bench(const char* title,
       exp::Variant::kSwiftVaiSf};
 
   std::printf("=== %s ===\n", title);
-  std::printf("topology: %s fat-tree, load %.0f%%, arrivals over %lld us\n",
+  std::printf("topology: %s fat-tree, load %.0f%%, arrivals over %lld us",
               opt.full_scale ? "full-scale (320-host)" : "scaled (32-host)",
               opt.load * 100.0,
               static_cast<long long>(opt.duration / sim::kMicrosecond));
+  if (opt.shards > 0) {
+    std::printf(", pod-sharded (%d workers)", opt.shards);
+  }
+  std::printf("\n");
 
   std::vector<std::vector<stats::FlowRecord>> all_flows;
   for (const exp::Variant v : variants) {
@@ -57,7 +64,14 @@ inline void run_fct_bench(const char* title,
     config.load = opt.load;
     config.generate_duration = opt.duration;
     config.seed = opt.seed;
-    const exp::DatacenterResult r = run_datacenter(config);
+    // --shards switches to the pod-sharded epoch runner (one shard per pod,
+    // opt.shards worker threads).  Its flow population matches the serial
+    // entry point seed-for-seed, but per-shard rng streams mean individual
+    // FCTs differ slightly; within one invocation all variants use the same
+    // runner, so the tables stay apples-to-apples.
+    const exp::DatacenterResult r = opt.shards > 0
+                                        ? run_datacenter_sharded(config, opt.shards)
+                                        : run_datacenter(config);
     std::printf("%-14s flows=%zu unfinished=%zu drops=%llu events=%llu\n",
                 variant_name(v), r.flows.size(), r.unfinished,
                 static_cast<unsigned long long>(r.drops),

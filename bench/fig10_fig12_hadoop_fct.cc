@@ -9,7 +9,9 @@
 // The default run is a scaled configuration (32-host fat-tree, 1 ms arrival
 // window) sized for a single-core CI budget; pass --full for the paper's
 // 320-host / 50 ms setup (hours of CPU).  Flags: --full, --duration-us N,
-// --load-pct N, --groups N, --seed N.
+// --load-pct N, --groups N, --seed N, --shards N (pod-sharded parallel run
+// with N worker threads — combine with --full to spread the 5 pods over
+// cores).
 #include "fct_bench_common.h"
 #include "workload/distributions.h"
 

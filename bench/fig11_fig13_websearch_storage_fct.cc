@@ -7,8 +7,8 @@
 // times that of small flows under the baselines, and stays several times
 // lower with VAI SF; medians are essentially unchanged.
 //
-// Flags: --full, --duration-us N, --load-pct N, --groups N, --seed N
-// (see fig10_fig12_hadoop_fct for defaults).
+// Flags: --full, --duration-us N, --load-pct N, --groups N, --seed N,
+// --shards N (see fig10_fig12_hadoop_fct for defaults).
 #include "fct_bench_common.h"
 #include "workload/distributions.h"
 

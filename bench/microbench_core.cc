@@ -10,6 +10,7 @@
 #include "core/fluid_model.h"
 #include "experiments/datacenter.h"
 #include "experiments/incast.h"
+#include "experiments/sharded.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
 #include "sim/calendar_queue.h"
@@ -260,6 +261,39 @@ void BM_FatTreeEndToEnd(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_FatTreeEndToEnd)->Arg(50)->Unit(benchmark::kMillisecond);
+
+/// Space-parallel execution of one simulation: the 8-pod / 64-host tree
+/// sharded by pod, run under the conservative epoch loop with the given
+/// worker count (Arg).  Arg(1) is the serial-coordinator baseline and
+/// Arg(8) the full-width A/B — identical work by construction (results are
+/// byte-identical across worker counts), so the ratio of the two rows is
+/// pure parallel speedup.  On a single-core host the two rows tie (threads
+/// time-slice one core); the row pair is kept so multi-core hosts expose
+/// the scaling without a bench change.
+void BM_FatTreeFullScale(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::DatacenterConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.topo = topo::sharded_scaled_fat_tree();
+    config.components = {{&workload::hadoop_cdf(), 1.0}};
+    config.load = 0.5;
+    config.generate_duration = 200 * sim::kMicrosecond;
+    const exp::DatacenterResult r = run_datacenter_sharded(config, workers);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.flows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+// UseRealTime: with 8 workers the default CPU-time metric counts only the
+// calling thread and would overstate throughput ~8x; wall clock is the
+// honest figure for a parallel run.
+BENCHMARK(BM_FatTreeFullScale)
+    ->Arg(1)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// The per-host timer subsystem in isolation: a pacing-style chain (arm,
 /// fire, re-arm at a few-hundred-ns gap) running next to a far RTO that is

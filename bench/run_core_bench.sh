@@ -33,7 +33,7 @@ RAW=$(mktemp)
 trap 'rm -f "$RAW"' EXIT
 
 "$BIN" \
-  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd|FatTreeEndToEnd|TimingWheel|Incast256' \
+  --benchmark_filter='RollingHorizon|CancelHeavy|ScheduleAndRun|SelfRescheduling|IncastEndToEnd|FatTreeEndToEnd|FatTreeFullScale|TimingWheel|Incast256' \
   --benchmark_repetitions=3 \
   --benchmark_format=json >"$RAW"
 

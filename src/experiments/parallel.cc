@@ -17,17 +17,20 @@ void parallel_for_index(std::size_t count, unsigned max_threads,
     return;
   }
   std::atomic<std::size_t> next{0};
+  auto work = [&] {
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  // The calling thread is worker 0: spawn only workers - 1 threads and run
+  // the claim loop here too.  Saves a thread (and its stack) per sweep and
+  // keeps the caller's core busy instead of parked in join().
   std::vector<std::thread> pool;
-  pool.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool.emplace_back([&] {
-      while (true) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= count) return;
-        fn(i);
-      }
-    });
-  }
+  pool.reserve(workers - 1);
+  for (unsigned w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();
   for (std::thread& t : pool) t.join();
 }
 

@@ -175,11 +175,15 @@ cc::SwiftParams CcFactory::swift_params(const net::PathInfo& path) const {
 }
 
 cc::CcEngine CcFactory::make(const net::PathInfo& path) const {
+  return make(path, &network_.rng());
+}
+
+cc::CcEngine CcFactory::make(const net::PathInfo& path, sim::Rng* rng) const {
   if (variant_is_hpcc(variant_)) {
-    return cc::Hpcc(hpcc_params(path), &network_.rng());
+    return cc::Hpcc(hpcc_params(path), rng);
   }
   if (variant_is_swift(variant_)) {
-    return cc::Swift(swift_params(path), &network_.rng());
+    return cc::Swift(swift_params(path), rng);
   }
   if (variant_ == Variant::kDctcp) {
     return cc::Dctcp(cc::DctcpParams{});

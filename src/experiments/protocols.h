@@ -58,6 +58,12 @@ class CcFactory {
   /// a value: assigning it into FlowTx.cc allocates nothing.
   cc::CcEngine make(const net::PathInfo& path) const;
 
+  /// Same, but drawing randomness (HPCC/Swift probabilistic feedback) from
+  /// `rng` instead of the network's shared stream.  The space-parallel
+  /// runner uses this: each shard owns a private Rng, so flows started on
+  /// different worker threads never race on — or perturb — one generator.
+  cc::CcEngine make(const net::PathInfo& path, sim::Rng* rng) const;
+
   Variant variant() const { return variant_; }
   double min_bdp_bytes() const { return min_bdp_bytes_; }
   sim::Time min_bdp_delay() const { return min_bdp_delay_; }

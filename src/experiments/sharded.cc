@@ -1,0 +1,297 @@
+#include "experiments/sharded.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <map>
+#include <memory>
+#include <tuple>
+#include <utility>
+
+#include "net/network.h"
+#include "net/shard.h"
+#include "sim/epoch.h"
+#include "sim/simulator.h"
+
+namespace fastcc::exp {
+
+namespace {
+
+/// Everything one shard accumulates during the run.  Written only by the
+/// worker currently running the shard; read by the main thread after the
+/// epoch loop finishes.
+struct ShardState {
+  stats::FctRecorder recorder;
+  std::size_t completed = 0;
+  std::vector<net::CrossShardPacket> inbox;  ///< Reused drain scratch.
+};
+
+/// Epoch-start injection for one shard: re-materializes every packet
+/// published for it at the last barrier and schedules the delivery at the
+/// recorded arrival instant.  take_ready returns (src, seq)-ordered
+/// records; re-sorting by (arrival, src, seq) makes the injection order —
+/// and therefore any same-timestamp tie-break in the event queue —
+/// canonical.
+void inject_inbox(sim::Simulator& sim, net::PacketPool& pool,
+                  net::Network& network, net::ShardMailboxes& mailboxes,
+                  int s, std::vector<net::CrossShardPacket>& inbox) {
+  inbox.clear();
+  mailboxes.take_ready(s, inbox);
+  std::sort(inbox.begin(), inbox.end(),
+            [](const net::CrossShardPacket& a, const net::CrossShardPacket& b) {
+              return std::make_tuple(a.arrival, a.src_shard, a.seq) <
+                     std::make_tuple(b.arrival, b.src_shard, b.seq);
+            });
+  for (net::CrossShardPacket& rec : inbox) {
+    net::Node* node = network.node(rec.dst_node);
+    const net::PacketRef ref = pool.import_packet(rec.pkt);
+    const int in_port = rec.dst_port;
+    assert(rec.arrival >= sim.now() &&
+           "cross-shard packet arrived inside a past epoch: lookahead does "
+           "not bound this boundary link");
+    auto arrive = [node, ref, in_port] { node->deliver(ref, in_port); };
+    static_assert(
+        sizeof(arrive) <= 24 && sim::UniqueFunction::fits_inline<decltype(arrive)>,
+        "re-materialized delivery must stay a handle-sized inline closure");
+    sim.at(rec.arrival, std::move(arrive));
+  }
+  inbox.clear();
+}
+
+}  // namespace
+
+DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
+                                        int workers,
+                                        ShardedRunStats* stats_out) {
+  assert(!config.components.empty() || !config.preset_flows.empty());
+  const int shards = config.topo.pods;
+  if (workers <= 0) workers = shards;
+
+  // Private event queue and packet arena per shard.  unique_ptr because
+  // neither type is movable; addresses must also stay stable — ports and
+  // nodes hold raw pointers into these after rebinding.
+  std::vector<std::unique_ptr<sim::Simulator>> sims;
+  std::vector<std::unique_ptr<net::PacketPool>> pools;
+  sims.reserve(static_cast<std::size_t>(shards));
+  pools.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    sims.push_back(std::make_unique<sim::Simulator>());
+    pools.push_back(std::make_unique<net::PacketPool>());
+  }
+
+  // Build the whole topology against shard 0's simulator, then re-home each
+  // node onto its owning shard below.  Building is serial either way; only
+  // the run is parallel.
+  net::Network network(*sims[0], config.seed);
+  topo::FatTree tree = build_fat_tree(network, config.topo);
+  const net::ShardMap smap =
+      topo::pod_shard_map(tree, config.topo, network.node_count());
+
+  if (variant_needs_red(config.variant)) {
+    network.set_red_all(red_params_for(config.variant));
+    net::PfcParams pfc;
+    pfc.pause_bytes = 200'000;
+    pfc.resume_bytes = 100'000;
+    network.set_pfc_all(pfc);
+  }
+
+  CcFactory factory(network, config.variant, /*small_topology=*/false);
+
+  // Traffic generation forks the network stream first, exactly like
+  // run_datacenter, so a given seed produces the same flow set in both
+  // entry points.
+  std::vector<net::FlowSpec> specs;
+  if (!config.preset_flows.empty()) {
+    specs = config.preset_flows;
+  } else {
+    workload::PoissonTrafficParams traffic;
+    traffic.components = config.components;
+    traffic.load = config.load;
+    traffic.host_bandwidth = config.topo.host_bandwidth;
+    traffic.host_count = static_cast<int>(tree.hosts.size());
+    traffic.duration = config.generate_duration;
+    sim::Rng traffic_rng = network.rng().fork();
+    specs = workload::generate_poisson_traffic(traffic, traffic_rng);
+  }
+
+  // Per-shard random streams, forked in shard order (deterministic).  RED
+  // marking at ports and probabilistic CC feedback draw from the owning
+  // shard's stream, so no two workers ever touch one generator.
+  std::vector<sim::Rng> shard_rngs;
+  shard_rngs.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) shard_rngs.push_back(network.rng().fork());
+
+  // Re-home every node (simulator, pool, timing wheel, port transmitters,
+  // port rng) onto its shard.
+  for (net::NodeId id = 0; id < network.node_count(); ++id) {
+    const int s = smap.of(id);
+    net::Node* n = network.node(id);
+    n->rebind_shard(*sims[s], pools[s].get());
+    for (int i = 0; i < n->port_count(); ++i) {
+      n->port(i).set_rng(&shard_rngs[static_cast<std::size_t>(s)]);
+    }
+  }
+
+  // Mark every egress port whose peer lives on another shard as a boundary:
+  // its transmissions go through the shard's router into the mailboxes.
+  // The epoch length (lookahead) is the minimum latency any cross-shard
+  // packet experiences: a packet deposited at local time t arrives no
+  // earlier than t + propagation, so events published at the end of epoch k
+  // can only land in epoch k+1 or later.
+  net::ShardMailboxes mailboxes(shards);
+  std::vector<std::unique_ptr<net::ShardRouter>> routers;
+  routers.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    routers.push_back(
+        std::make_unique<net::ShardRouter>(&mailboxes, &smap, s));
+  }
+  sim::Time lookahead = std::numeric_limits<sim::Time>::max();
+  std::size_t boundary_ports = 0;
+  for (net::NodeId id = 0; id < network.node_count(); ++id) {
+    net::Node* n = network.node(id);
+    const int s = smap.of(id);
+    for (int i = 0; i < n->port_count(); ++i) {
+      net::Port& port = n->port(i);
+      if (!port.connected()) continue;
+      if (smap.of(port.peer()->id()) == s) continue;
+      port.set_cross_shard_sink(routers[static_cast<std::size_t>(s)].get());
+      lookahead = std::min(lookahead, port.propagation_delay());
+      ++boundary_ports;
+    }
+  }
+  assert((boundary_ports > 0 || shards == 1) &&
+         "pod sharding found no boundary link in a multi-pod tree");
+  assert(lookahead > 0 && "conservative sync needs nonzero boundary latency");
+
+  // Shortest-path BFS all happens here on the calling thread; during the
+  // epoch loop the cache and flow_paths map are read-only (concurrent reads
+  // from completion callbacks are safe).
+  std::map<std::pair<net::NodeId, net::NodeId>, net::PathInfo> path_cache;
+  auto path_of = [&](net::NodeId src,
+                     net::NodeId dst) -> const net::PathInfo& {
+    auto key = std::make_pair(src, dst);
+    auto it = path_cache.find(key);
+    if (it == path_cache.end()) {
+      it = path_cache.emplace(key, network.path(src, dst)).first;
+    }
+    return it->second;
+  };
+
+  const std::size_t total = specs.size();
+  std::map<net::FlowId, const net::PathInfo*> flow_paths;
+  std::vector<ShardState> shard_state(static_cast<std::size_t>(shards));
+
+  // Completion callbacks write only the owning shard's state — no shared
+  // counter, no stop(); termination is the drain check at the barrier.
+  for (net::Host* h : tree.hosts) {
+    ShardState* st = &shard_state[static_cast<std::size_t>(smap.of(h->id()))];
+    h->set_completion_callback([st, &flow_paths](const net::FlowTx& f) {
+      st->recorder.record(f, *flow_paths.at(f.spec.id));
+      ++st->completed;
+    });
+  }
+
+  for (net::FlowSpec& spec : specs) {
+    net::Host* src = tree.hosts[spec.src];
+    net::Host* dst = tree.hosts[spec.dst];
+    spec.src = src->id();
+    spec.dst = dst->id();
+    const net::PathInfo& path = path_of(spec.src, spec.dst);
+    flow_paths.emplace(spec.id, &path);
+    const std::size_t s = static_cast<std::size_t>(smap.of(spec.src));
+    sim::Rng* rng = &shard_rngs[s];
+    // The factory and cached path outlive the schedule: the epoch loop
+    // below drains every flow-start event before this scope exits.
+    // lint:allow(ref-capture-callback -- epoch loop drains before scope exit)
+    sims[s]->at(spec.start_time, [&factory, src, spec, &path, rng] {
+      net::FlowTx flow;
+      flow.spec = spec;
+      flow.line_rate = src->port(0).bandwidth();
+      flow.base_rtt = path.base_rtt;
+      flow.path_hops = path.hops;
+      flow.cc = factory.make(path, rng);
+      src->start_flow(std::move(flow));
+    });
+  }
+
+  // ---- The epoch loop ----------------------------------------------------
+  // Epoch k covers simulated [k*L, (k+1)*L).  Simulator::run(until) is
+  // inclusive of `until`, so each shard runs to horizon - 1; a bounded run
+  // leaves the clock at the bound even when the queue is idle, which keeps
+  // every shard's notion of "now" aligned at each barrier.
+  sim::Time horizon = lookahead;
+  std::uint64_t epochs = 0;
+  bool drained = false;
+
+  auto shard_fn = [&](int s) {
+    const auto si = static_cast<std::size_t>(s);
+    inject_inbox(*sims[si], *pools[si], network, mailboxes, s,
+                 shard_state[si].inbox);
+    sims[si]->run(horizon - 1);
+  };
+
+  auto barrier_fn = [&]() -> bool {
+    ++epochs;
+    mailboxes.publish();
+    bool queues_empty = true;
+    for (int s = 0; s < shards; ++s) {
+      queues_empty =
+          queues_empty && sims[static_cast<std::size_t>(s)]->queue().empty();
+    }
+    if (queues_empty && mailboxes.all_empty()) {
+      // Nothing pending anywhere: the simulation is fully drained and no
+      // future epoch can create work.
+      drained = true;
+      return false;
+    }
+    if (horizon >= config.max_sim_time) return false;  // Drain cap.
+    horizon += lookahead;
+    return true;
+  };
+
+  sim::EpochCoordinator::run(shards, workers, shard_fn, barrier_fn);
+
+  // ---- Merge -------------------------------------------------------------
+  DatacenterResult result;
+  std::size_t completed = 0;
+  for (const ShardState& st : shard_state) {
+    completed += st.completed;
+    result.flows.insert(result.flows.end(), st.recorder.records().begin(),
+                        st.recorder.records().end());
+  }
+  // Canonical order: flow id.  (Serial runs report completion order, which
+  // has no cross-shard analogue.)
+  std::sort(result.flows.begin(), result.flows.end(),
+            [](const stats::FlowRecord& a, const stats::FlowRecord& b) {
+              return a.id < b.id;
+            });
+  result.drops = network.total_drops();
+  for (const auto& sim : sims) result.events_executed += sim->events_executed();
+  result.end_time = sims[0]->now();
+  result.unfinished = total - completed;
+
+  if (stats_out != nullptr) {
+    stats_out->shards = shards;
+    stats_out->workers = std::clamp(workers, 1, shards);
+    stats_out->lookahead = lookahead;
+    stats_out->epochs = epochs;
+    stats_out->cross_shard_transfers = mailboxes.total_transfers();
+    stats_out->drained = drained;
+    stats_out->pool_peak.clear();
+    stats_out->pool_live_at_end.clear();
+    for (const auto& pool : pools) {
+      stats_out->pool_peak.push_back(pool->peak_count());
+      stats_out->pool_live_at_end.push_back(pool->live_count());
+    }
+  }
+
+  if (drained) {
+    // A drained run must leave zero live packets per shard: every packet
+    // was either consumed locally or export_release'd across a boundary
+    // and released there.  Arm the destructor audit so a leak fails loudly.
+    for (const auto& pool : pools) pool->enable_teardown_leak_audit();
+  }
+  return result;
+}
+
+}  // namespace fastcc::exp

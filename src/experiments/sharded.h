@@ -1,0 +1,51 @@
+// Space-parallel datacenter runs: one simulation, sharded by pod.
+//
+// run_datacenter_sharded() executes the same experiment as run_datacenter(),
+// but partitions the fat-tree into one logical shard per pod (spines
+// round-robin across shards), gives every shard a private Simulator,
+// PacketPool, and Rng, and advances the shards in conservative barrier
+// epochs (see sim/epoch.h) on `workers` OS threads.  Packets crossing a pod
+// boundary are serialized out of the source shard's pool into per-shard-pair
+// mailboxes at the epoch barrier and re-materialized by the destination
+// shard (see net/shard.h).
+//
+// Determinism: the shard partition is a function of the topology alone, so
+// the result is byte-identical for every worker count — 1, 2, and 8 workers
+// produce the same flow records, drops, and event counts.  (It is *not*
+// flow-for-flow identical to run_datacenter(): per-shard Rng streams replace
+// the single network stream, so RED marking draws differ.  Each entry point
+// is deterministic in its own right.)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "experiments/datacenter.h"
+
+namespace fastcc::exp {
+
+/// Observability for sharded runs: epoch/transfer counts for sanity checks
+/// and the per-shard pool figures the leak audit asserts on.
+struct ShardedRunStats {
+  int shards = 1;
+  int workers = 1;              ///< After clamping to [1, shards].
+  sim::Time lookahead = 0;      ///< Epoch length (min boundary-link delay).
+  std::uint64_t epochs = 0;
+  std::uint64_t cross_shard_transfers = 0;
+  bool drained = false;  ///< All queues and mailboxes empty at the end.
+  std::vector<std::uint32_t> pool_peak;         ///< Per-shard high-water mark.
+  std::vector<std::uint32_t> pool_live_at_end;  ///< 0 for every drained shard.
+};
+
+/// Runs `config` sharded by pod on `workers` threads (0 = one per shard;
+/// values above the shard count are clamped).  The calling thread
+/// participates as a worker.  Termination: runs until every shard's event
+/// queue and every mailbox is empty (full drain — this is what makes the
+/// pool leak audit meaningful), or until the epoch horizon reaches
+/// config.max_sim_time, whichever comes first.  Flow records are returned
+/// sorted by flow id, a canonical order independent of completion order.
+DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
+                                        int workers,
+                                        ShardedRunStats* stats = nullptr);
+
+}  // namespace fastcc::exp

@@ -17,11 +17,11 @@ void Host::start_flow(FlowTx flow) {
   FlowTx& f = *slot;
   ++active_flows_;
   if (f.rto == 0) f.rto = std::max<sim::Time>(3 * f.base_rtt, min_rto_);
-  f.last_progress_time = sim_.now();
+  f.last_progress_time = sim_->now();
   f.cc.on_flow_start(f);
   sync_rate_contribution(f);
   sync_cc_timer(f);
-  f.next_tx_time = sim_.now();
+  f.next_tx_time = sim_->now();
   try_send(f);
 }
 
@@ -79,14 +79,14 @@ void Host::handle_data(const Packet& p) {
   // slot storage never relocates).
   const PacketRef ack_ref = packet_pool()->alloc();
   Packet& ack = packet_pool()->get(ack_ref);
-  init_ack(ack, p, sim_.now());
+  init_ack(ack, p, sim_->now());
   ack.seq = rx.expected_seq;  // cumulative ACK
   // DCQCN: at most one congestion-notification per flow per cnp_interval_.
   if (p.ecn) {
     if (rx.last_cnp_time < 0 ||
-        sim_.now() - rx.last_cnp_time >= cnp_interval_) {
+        sim_->now() - rx.last_cnp_time >= cnp_interval_) {
       ack.cnp = true;
-      rx.last_cnp_time = sim_.now();
+      rx.last_cnp_time = sim_->now();
     }
   }
   assert(port_count() > 0 && port(0).connected());
@@ -107,7 +107,7 @@ void Host::handle_ack(const Packet& p) {
     ++f.dup_acks;
     if (f.dup_acks >= 3 && f.snd_nxt > f.cum_acked &&
         (f.last_retransmit_time < 0 ||
-         sim_.now() - f.last_retransmit_time >= f.base_rtt)) {
+         sim_->now() - f.last_retransmit_time >= f.base_rtt)) {
       retransmit_from_cum_ack(f);
       try_send(f);
     }
@@ -117,11 +117,11 @@ void Host::handle_ack(const Packet& p) {
   const auto newly = static_cast<std::uint32_t>(p.seq - f.cum_acked);
   f.cum_acked = p.seq;
   f.dup_acks = 0;
-  f.last_progress_time = sim_.now();
+  f.last_progress_time = sim_->now();
 
   cc::AckContext ctx;
-  ctx.now = sim_.now();
-  ctx.rtt = sim_.now() - p.host_ts;
+  ctx.now = sim_->now();
+  ctx.rtt = sim_->now() - p.host_ts;
   ctx.ack_seq = p.seq;
   ctx.bytes_acked = newly;
   ctx.ecn = p.ecn;
@@ -130,7 +130,7 @@ void Host::handle_ack(const Packet& p) {
   f.cc.on_ack(ctx, f);
 
   if (f.cum_acked >= f.spec.size_bytes) {
-    f.finish_time = sim_.now();
+    f.finish_time = sim_->now();
     assert(active_flows_ > 0);
     --active_flows_;
     // The arbiter entry (if one is queued) dies on pop via this flag.
@@ -159,7 +159,7 @@ void Host::try_send(FlowTx& f) {
         f.inflight_bytes() == 0 ||
         static_cast<double>(f.inflight_bytes() + payload) <= f.window_bytes;
     if (!window_ok) return;  // an ACK will reopen the window
-    if (sim_.now() < f.next_tx_time) {
+    if (sim_->now() < f.next_tx_time) {
       arm_pacing(f);
       return;
     }
@@ -167,13 +167,13 @@ void Host::try_send(FlowTx& f) {
     // as a PacketRef handle.
     const PacketRef ref = packet_pool()->alloc();
     init_data(packet_pool()->get(ref), f.spec.id, f.spec.src, f.spec.dst,
-              f.snd_nxt, payload, sim_.now());
+              f.snd_nxt, payload, sim_->now());
     f.snd_nxt += payload;
     // Pace on wire bytes at the flow's current rate (capped at line rate —
     // the NIC cannot serialize faster even if CC asks for more).
     const sim::Rate pace = std::min(f.rate, f.line_rate);
     assert(pace > 0.0);
-    f.next_tx_time = std::max(f.next_tx_time, sim_.now()) +
+    f.next_tx_time = std::max(f.next_tx_time, sim_->now()) +
                      sim::serialization_time(payload + kHeaderBytes, pace);
     assert(port_count() > 0 && port(0).connected());
     port(0).enqueue(ref);
@@ -186,10 +186,10 @@ void Host::retransmit_from_cum_ack(FlowTx& f) {
   f.bytes_retransmitted += f.snd_nxt - f.cum_acked;
   ++f.retransmit_events;
   f.dup_acks = 0;
-  f.last_retransmit_time = sim_.now();
-  f.last_progress_time = sim_.now();  // restart the RTO clock
+  f.last_retransmit_time = sim_->now();
+  f.last_progress_time = sim_->now();  // restart the RTO clock
   f.snd_nxt = f.cum_acked;
-  f.next_tx_time = std::max(f.next_tx_time, sim_.now());
+  f.next_tx_time = std::max(f.next_tx_time, sim_->now());
 }
 
 void Host::arm_rto_timer(FlowTx& f) {
@@ -197,13 +197,13 @@ void Host::arm_rto_timer(FlowTx& f) {
   f.rto_timer_armed = true;
   const FlowId fid = f.spec.id;
   const sim::Time deadline =
-      std::max(f.last_progress_time + f.rto, sim_.now() + 1);
+      std::max(f.last_progress_time + f.rto, sim_->now() + 1);
   f.rto_timer = wheel().arm(deadline, [this, fid] {
     FlowTx* flow_state = mutable_flow(fid);
     if (flow_state == nullptr || flow_state->finished()) return;
     flow_state->rto_timer_armed = false;
     if (flow_state->inflight_bytes() == 0) return;  // re-armed on next send
-    if (sim_.now() - flow_state->last_progress_time >= flow_state->rto) {
+    if (sim_->now() - flow_state->last_progress_time >= flow_state->rto) {
       retransmit_from_cum_ack(*flow_state);
       try_send(*flow_state);
     }
@@ -226,7 +226,7 @@ void Host::cc_tick(FlowId fid) {
   FlowTx* f = mutable_flow(fid);
   if (f == nullptr || f->finished()) return;
   f->cc_timer_at = -1;  // the armed deadline just fired
-  f->cc.on_timer(sim_.now(), *f);
+  f->cc.on_timer(sim_->now(), *f);
   sync_rate_contribution(*f);
   sync_cc_timer(*f);
 }
@@ -252,7 +252,7 @@ void Host::nic_tick() {
   nic_timer_armed_ = false;
   nic_timer_at_ = -1;
   in_nic_tick_ = true;
-  const sim::Time now = sim_.now();
+  const sim::Time now = sim_->now();
   while (!pacing_heap_.empty() && pacing_heap_.front().at <= now) {
     std::pop_heap(pacing_heap_.begin(), pacing_heap_.end());
     const PacingEntry e = pacing_heap_.back();

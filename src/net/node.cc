@@ -3,14 +3,16 @@
 #include <cassert>
 #include <utility>
 
+#include "net/shard.h"
+
 namespace fastcc::net {
 
 Node::Node(sim::Simulator& simulator, NodeId id, std::string name)
-    : sim_(simulator), id_(id), name_(std::move(name)) {}
+    : sim_(&simulator), id_(id), name_(std::move(name)) {}
 
 int Node::add_port() {
   const int idx = static_cast<int>(ports_.size());
-  ports_.push_back(std::make_unique<Port>(sim_, this, idx));
+  ports_.push_back(std::make_unique<Port>(*sim_, this, idx));
   ports_.back()->set_packet_pool(pool_);
   ingress_bytes_.push_back(0);
   ingress_paused_.push_back(false);
@@ -20,6 +22,13 @@ int Node::add_port() {
 void Node::set_packet_pool(PacketPool* pool) {
   pool_ = pool;
   for (auto& p : ports_) p->set_packet_pool(pool);
+}
+
+void Node::rebind_shard(sim::Simulator& simulator, PacketPool* pool) {
+  sim_ = &simulator;
+  wheel_.rebind(simulator);
+  set_packet_pool(pool);
+  for (auto& p : ports_) p->rebind_simulator(simulator);
 }
 
 void Node::deliver(FASTCC_CONSUMES PacketRef ref, int in_port) {
@@ -85,11 +94,20 @@ void Node::send_pfc(int in_port, bool pause) {
   frame.pfc_port = reverse.peer_port();
   Node* peer = reverse.peer();
   const int arrival_port = reverse.peer_port();  // valid index on peer
+  if (CrossShardSink* sink = reverse.cross_shard_sink()) {
+    // The pause/resume frame crosses a shard boundary: like data in
+    // Port::start_tx, it is serialized out of this shard's pool into the
+    // mailbox and re-materialized by the owner of the peer node.
+    sink->deposit(pool_->export_release(ref),
+                  sim_->now() + reverse.propagation_delay(), peer->id(),
+                  arrival_port);
+    return;
+  }
   auto arrive = [peer, ref, arrival_port] { peer->deliver(ref, arrival_port); };
   static_assert(
       sizeof(arrive) <= 24 && sim::UniqueFunction::fits_inline<decltype(arrive)>,
       "PFC delivery must stay a handle-sized inline closure");
-  sim_.after(reverse.propagation_delay(), std::move(arrive));
+  sim_->after(reverse.propagation_delay(), std::move(arrive));
 }
 
 }  // namespace fastcc::net

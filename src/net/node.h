@@ -54,6 +54,13 @@ class Node {
   void set_packet_pool(PacketPool* pool);
   PacketPool* packet_pool() { return pool_; }
 
+  /// Re-homes this node (and its ports and timing wheel) onto a shard's
+  /// private simulator and packet pool.  Space-parallel execution builds the
+  /// topology against one simulator, then rebinds each node to the event
+  /// queue of the shard that owns it.  Legal only before the first run:
+  /// no event, timer, or live packet may be outstanding.
+  void rebind_shard(sim::Simulator& simulator, PacketPool* pool);
+
   /// Entry point for packets arriving off the wire.  `in_port` is the index
   /// of this node's reverse-direction port for the arrival link.
   void deliver(FASTCC_CONSUMES PacketRef ref, int in_port);
@@ -63,7 +70,7 @@ class Node {
   /// accounting.
   void on_packet_departed(const Packet& p);
 
-  sim::Simulator& simulator() { return sim_; }
+  sim::Simulator& simulator() { return *sim_; }
 
   /// This node's timing wheel: however many local timers (pacing, RTO,
   /// CC recovery, monitor sampling) are pending, the global event queue
@@ -78,10 +85,10 @@ class Node {
   /// Consumes a packet at this node (hosts): releases PFC accounting.
   void consume(const Packet& p);
 
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;  ///< Never null; a pointer only so rebind_shard works.
 
  private:
-  sim::WheelScheduler wheel_{sim_};
+  sim::WheelScheduler wheel_{*sim_};
 
   void pfc_account(int in_port, std::int64_t delta_bytes);
   void send_pfc(int in_port, bool pause);

@@ -65,6 +65,17 @@ class PacketPool {
   PacketPool(const PacketPool&) = delete;
   PacketPool& operator=(const PacketPool&) = delete;
 
+  /// Debug-build teardown leak audit (opt-in): a pool destructed with live
+  /// packets then fails an assert instead of silently dropping the leak.
+  /// Off by default — drivers that stop() mid-flight legitimately destruct
+  /// pools with packets still live; the space-parallel runner, which drains
+  /// every shard before teardown, turns it on per shard.
+  ~PacketPool() {
+    assert((!audit_teardown_ || live_ == 0) &&
+           "PacketPool destroyed with live packets (cross-shard leak?)");
+  }
+  void enable_teardown_leak_audit() { audit_teardown_ = true; }
+
   /// Takes a free slot (growing by one chunk when exhausted) and resets the
   /// packet's header fields.  The INT array is deliberately *not* cleared:
   /// records at index >= int_count are never read, so recycling skips the
@@ -76,6 +87,7 @@ class PacketPool {
     Slot& s = slot_at(slot);
     s.pkt.reset_header();
     ++live_;
+    if (live_ > peak_) peak_ = live_;
     return PacketRef::make(slot, s.gen);
   }
 
@@ -117,9 +129,34 @@ class PacketPool {
     return slot_at(ref.slot()).gen == ref.gen();
   }
 
+  /// Serializes a packet out of this pool for a cross-shard handoff: copies
+  /// the bytes and retires the handle (slot to the freelist, generation
+  /// bumped, exactly as release()).  The returned value is what crosses the
+  /// mailbox; the destination shard re-materializes it via import_packet().
+  Packet export_release(FASTCC_CONSUMES_XSHARD PacketRef ref) {
+    Packet out = get(ref);
+    release(ref);
+    return out;
+  }
+
+  /// Re-materializes a packet that arrived from another shard's pool:
+  /// allocates a fresh slot here and copies the bytes in.  The new handle
+  /// is this pool's own — generation checking starts over.
+  FASTCC_PRODUCES PacketRef import_packet(const Packet& p) {
+    const PacketRef ref = alloc();
+    get(ref) = p;
+    return ref;
+  }
+
   /// Packets currently allocated (leak check: a drained simulation must end
   /// at zero).
+  std::uint32_t live_count() const { return live_; }
+  /// Legacy spelling of live_count(), kept for existing call sites.
   std::uint32_t live() const { return live_; }
+  /// High-water mark of concurrently live packets over the pool's lifetime
+  /// (exact, unlike capacity() which rounds up to the chunk size) — the
+  /// per-shard memory figure the space-parallel leak audit reports.
+  std::uint32_t peak_count() const { return peak_; }
   /// Total slots ever created (high-water mark of concurrent packets,
   /// rounded up to the chunk size).
   std::uint32_t capacity() const { return capacity_; }
@@ -157,6 +194,8 @@ class PacketPool {
   std::vector<std::uint32_t> free_;
   std::uint32_t capacity_ = 0;
   std::uint32_t live_ = 0;
+  std::uint32_t peak_ = 0;
+  bool audit_teardown_ = false;
 };
 
 /// Index ring buffer of PacketRef handles — the Port egress queue.  Replaces

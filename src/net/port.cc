@@ -4,11 +4,12 @@
 #include <utility>
 
 #include "net/node.h"
+#include "net/shard.h"
 
 namespace fastcc::net {
 
 Port::Port(sim::Simulator& simulator, Node* owner, int index)
-    : sim_(simulator), owner_(owner), index_(index) {}
+    : sim_(&simulator), owner_(owner), index_(index) {}
 
 void Port::connect(Node* peer, int peer_port, sim::Rate bandwidth,
                    sim::Time propagation_delay) {
@@ -71,7 +72,7 @@ void Port::set_paused(bool paused) {
 void Port::maybe_start_tx() {
   if (paused_) return;
   if (high_q_.empty() && low_q_.empty()) return;
-  if (sim_.now() < wire_free_time_) {
+  if (sim_->now() < wire_free_time_) {
     // A packet is still serializing; re-check the moment the wire frees up.
     arm_kick();
     return;
@@ -88,7 +89,7 @@ void Port::arm_kick() {
   };
   static_assert(sizeof(kick) <= 24 && sim::UniqueFunction::fits_inline<decltype(kick)>,
                 "dequeue kick must stay a handle-sized inline closure");
-  sim_.at(wire_free_time_, std::move(kick));
+  sim_->at(wire_free_time_, std::move(kick));
 }
 
 void Port::start_tx() {
@@ -106,7 +107,7 @@ void Port::start_tx() {
   // packet, at the moment serialization begins.
   if (p.type == PacketType::kData) {
     IntRecord rec;
-    rec.timestamp = sim_.now();
+    rec.timestamp = sim_->now();
     rec.tx_bytes = tx_bytes_;
     rec.qlen_bytes = static_cast<std::uint32_t>(data_queued_bytes_);
     rec.bandwidth = bandwidth_;
@@ -124,19 +125,31 @@ void Port::start_tx() {
     last_ser_time_ = sim::serialization_time(p.wire_bytes, bandwidth_);
   }
   const sim::Time tx_time = last_ser_time_;
-  wire_free_time_ = sim_.now() + tx_time;
+  wire_free_time_ = sim_->now() + tx_time;
 
-  // Fused per-hop event: the peer's delivery is scheduled directly at
-  // tx_time + prop_delay — the packet rides as a 4-byte handle, and no
-  // separate end-of-serialization event exists.
-  Node* peer = peer_;
-  const int in_port = peer_port_;
-  auto arrive = [peer, ref, in_port] { peer->deliver(ref, in_port); };
-  static_assert(
-      sizeof(arrive) <= 24 && sim::UniqueFunction::fits_inline<decltype(arrive)>,
-      "per-hop delivery must stay a handle-sized inline closure (node "
-      "pointer + PacketRef + port), never a by-value Packet");
-  sim_.after(tx_time + prop_delay_, std::move(arrive));
+  if (xshard_ != nullptr) {
+    // Shard-boundary link: the peer lives on another worker's simulator, so
+    // a handle into *this* pool is meaningless there.  Serialize the packet
+    // out of the pool (export_release copies the bytes and retires the
+    // handle) into the mailbox; the destination shard re-materializes it in
+    // its own pool and schedules the delivery at the same arrival instant.
+    xshard_->deposit(pool_->export_release(ref),
+                     sim_->now() + tx_time + prop_delay_, peer_->id(),
+                     peer_port_);
+  } else {
+    // Fused per-hop event: the peer's delivery is scheduled directly at
+    // tx_time + prop_delay — the packet rides as a 4-byte handle, and no
+    // separate end-of-serialization event exists.
+    Node* peer = peer_;
+    const int in_port = peer_port_;
+    auto arrive = [peer, ref, in_port] { peer->deliver(ref, in_port); };
+    static_assert(
+        sizeof(arrive) <= 24 &&
+            sim::UniqueFunction::fits_inline<decltype(arrive)>,
+        "per-hop delivery must stay a handle-sized inline closure (node "
+        "pointer + PacketRef + port), never a by-value Packet");
+    sim_->after(tx_time + prop_delay_, std::move(arrive));
+  }
 
   // Self-schedule the next dequeue at the end of this serialization — but
   // only when there is already a backlog to drain.  An idle port costs no

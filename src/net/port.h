@@ -25,6 +25,7 @@
 namespace fastcc::net {
 
 class Node;
+class CrossShardSink;
 
 /// Random Early Detection marking parameters (DCQCN's congestion signal).
 struct RedParams {
@@ -62,6 +63,20 @@ class Port {
   void set_rng(sim::Rng* rng) { rng_ = rng; }
   void set_packet_pool(PacketPool* pool) { pool_ = pool; }
 
+  /// Marks this port as a shard-boundary egress: instead of scheduling the
+  /// peer's delivery on the local event queue, transmitted packets are
+  /// serialized out of this shard's pool into `sink` (a per-shard mailbox
+  /// router).  Null (the default) restores direct delivery.
+  void set_cross_shard_sink(CrossShardSink* sink) { xshard_ = sink; }
+  CrossShardSink* cross_shard_sink() const { return xshard_; }
+
+  /// Re-homes the transmitter onto a shard's simulator (see
+  /// Node::rebind_shard).  Legal only before the first run.
+  void rebind_simulator(sim::Simulator& simulator) {
+    assert(!kick_armed_ && "rebind with a dequeue kick outstanding");
+    sim_ = &simulator;
+  }
+
   /// Total buffered bytes (both priorities).
   std::uint64_t queue_bytes() const { return queued_bytes_; }
   /// Buffered bytes of data packets only — the quantity INT reports.
@@ -90,7 +105,7 @@ class Port {
   void start_tx();
   void arm_kick();
 
-  sim::Simulator& sim_;
+  sim::Simulator* sim_;  ///< Never null; a pointer only for shard rebinding.
   Node* owner_;
   int index_;
 
@@ -122,6 +137,7 @@ class Port {
 
   RedParams red_;
   sim::Rng* rng_ = nullptr;
+  CrossShardSink* xshard_ = nullptr;
 };
 
 }  // namespace fastcc::net

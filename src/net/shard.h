@@ -1,0 +1,189 @@
+// Space-parallel sharding: mailboxes and routing for pod-sharded execution.
+//
+// A sharded run partitions one fat-tree simulation into P logical shards
+// (one per pod; spines distributed round-robin), each with its own
+// Simulator, PacketPool, and Rng.  Everything inside a shard runs exactly
+// as in the serial simulator; only packets crossing a pod boundary leave
+// their shard, and they do so through the types in this header:
+//
+//   Port/Node (egress)  --deposit-->  ShardRouter  --put-->  ShardMailboxes
+//                                                               |
+//   destination shard  <--take_ready--  publish() at the epoch barrier
+//
+// Determinism contract: within an epoch each (src, dst) mailbox cell is
+// written by exactly one worker (the one running src's shard) in that
+// shard's deterministic event order, and stamped with a per-(src, dst)
+// transfer sequence number.  The destination drains cells in ascending
+// src-shard order and delivers in (arrival time, src shard, seq) order, so
+// results are byte-identical for any worker count — the logical partition
+// is fixed by the topology, not by the thread schedule.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/time.h"
+#include "util/contracts.h"
+
+namespace fastcc::net {
+
+/// Node -> shard assignment for a sharded run.  Built once from the
+/// topology (see topo::pod_shard_map) and read-only afterwards, so every
+/// worker may consult it concurrently.
+struct ShardMap {
+  std::vector<std::int32_t> shard;  ///< Indexed by NodeId.
+  int count = 1;                    ///< Number of shards (== pods).
+
+  int of(NodeId id) const {
+    assert(id < shard.size());
+    return shard[id];
+  }
+};
+
+/// A packet serialized out of its source shard's pool, in flight between
+/// shards.  Carries everything the destination needs to re-materialize and
+/// deliver it: the bytes, the arrival instant (already includes the
+/// boundary link's serialization + propagation time), and the ingress
+/// (node, port) on the destination side.
+struct CrossShardPacket {
+  Packet pkt;
+  sim::Time arrival = 0;
+  NodeId dst_node = kInvalidNode;
+  int dst_port = -1;
+  int src_shard = -1;
+  std::uint64_t seq = 0;  ///< Per-(src, dst) shard-pair transfer counter.
+};
+
+/// Abstract destination for packets leaving a shard.  Port::start_tx and
+/// Node::send_pfc call deposit() instead of scheduling a local delivery
+/// when the egress port is marked as a shard boundary.  The packet must
+/// already be out of the source pool (export_release) — deposit() takes the
+/// bytes by value, never a handle.
+class CrossShardSink {
+ public:
+  virtual ~CrossShardSink() = default;
+
+  /// Accepts one boundary-crossing packet.  `arrival` is the absolute
+  /// simulated time the packet reaches `dst_node` on its `dst_port`.
+  FASTCC_XSHARD_SINK virtual void deposit(Packet&& pkt, sim::Time arrival,
+                                          NodeId dst_node, int dst_port) = 0;
+};
+
+/// P x P matrix of single-writer mailboxes with epoch-barrier publication.
+///
+/// Threading protocol (the whole reason this class is safe without locks):
+///   * During an epoch, cell (s, d) of `pending_` is written only by the
+///     worker running shard s.  No one reads it.
+///   * publish() runs single-threaded inside the barrier completion step;
+///     it moves every pending cell into `ready_`.
+///   * During the next epoch, cell (s, d) of `ready_` is read only by the
+///     worker running shard d.  No one writes it.
+/// The epoch barrier's acquire/release ordering makes each hand-off visible.
+class ShardMailboxes {
+ public:
+  explicit ShardMailboxes(int shards)
+      : shards_(shards),
+        pending_(static_cast<std::size_t>(shards) * shards),
+        ready_(static_cast<std::size_t>(shards) * shards),
+        seq_(static_cast<std::size_t>(shards) * shards, 0) {
+    assert(shards >= 1);
+  }
+
+  /// Appends a transfer to the (src, dst) pending cell and stamps its
+  /// sequence number.  Caller must be the worker running shard `src`.
+  void put(int src, int dst, CrossShardPacket&& rec) {
+    auto& c = cell(pending_, src, dst);
+    rec.src_shard = src;
+    rec.seq = seq_[index(src, dst)]++;
+    c.push_back(std::move(rec));
+  }
+
+  /// Moves every pending cell into the ready side.  Must run while all
+  /// workers are parked at the epoch barrier (single-threaded).
+  void publish() {
+    for (std::size_t i = 0; i < pending_.size(); ++i) {
+      if (pending_[i].empty()) continue;
+      auto& r = ready_[i];
+      for (auto& rec : pending_[i]) r.push_back(std::move(rec));
+      pending_[i].clear();
+    }
+  }
+
+  /// Drains everything published for shard `dst` into `out` (appended in
+  /// ascending src-shard order; each cell is already seq-ordered).  Caller
+  /// must be the worker running shard `dst`.
+  void take_ready(int dst, std::vector<CrossShardPacket>& out) {
+    for (int src = 0; src < shards_; ++src) {
+      auto& c = cell(ready_, src, dst);
+      for (auto& rec : c) out.push_back(std::move(rec));
+      c.clear();
+    }
+  }
+
+  /// True when no transfer is pending or published anywhere.  Part of the
+  /// termination condition; must run at the barrier (single-threaded).
+  bool all_empty() const {
+    for (const auto& c : pending_)
+      if (!c.empty()) return false;
+    for (const auto& c : ready_)
+      if (!c.empty()) return false;
+    return true;
+  }
+
+  /// Total transfers ever deposited, over all shard pairs (stats).
+  std::uint64_t total_transfers() const {
+    std::uint64_t n = 0;
+    for (const std::uint64_t s : seq_) n += s;
+    return n;
+  }
+
+  int shards() const { return shards_; }
+
+ private:
+  using Cell = std::vector<CrossShardPacket>;
+
+  std::size_t index(int src, int dst) const {
+    assert(src >= 0 && src < shards_ && dst >= 0 && dst < shards_);
+    return static_cast<std::size_t>(src) * shards_ + dst;
+  }
+  Cell& cell(std::vector<Cell>& side, int src, int dst) {
+    return side[index(src, dst)];
+  }
+
+  int shards_;
+  std::vector<Cell> pending_;
+  std::vector<Cell> ready_;
+  std::vector<std::uint64_t> seq_;
+};
+
+/// The per-source-shard CrossShardSink: looks up the destination's shard in
+/// the ShardMap and appends to the matching mailbox cell.  One router per
+/// shard; every boundary egress port of that shard points at it, so all
+/// writes funnel through the single thread that owns the shard.
+class ShardRouter final : public CrossShardSink {
+ public:
+  ShardRouter(ShardMailboxes* mailboxes, const ShardMap* map, int src_shard)
+      : mailboxes_(mailboxes), map_(map), src_shard_(src_shard) {}
+
+  FASTCC_XSHARD_SINK void deposit(Packet&& pkt, sim::Time arrival,
+                                  NodeId dst_node, int dst_port) override {
+    const int dst_shard = map_->of(dst_node);
+    assert(dst_shard != src_shard_ &&
+           "cross-shard sink invoked for an intra-shard link");
+    CrossShardPacket rec;
+    rec.pkt = std::move(pkt);
+    rec.arrival = arrival;
+    rec.dst_node = dst_node;
+    rec.dst_port = dst_port;
+    mailboxes_->put(src_shard_, dst_shard, std::move(rec));
+  }
+
+ private:
+  ShardMailboxes* mailboxes_;
+  const ShardMap* map_;
+  int src_shard_;
+};
+
+}  // namespace fastcc::net

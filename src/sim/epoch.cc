@@ -1,0 +1,61 @@
+#include "sim/epoch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <barrier>
+#include <cassert>
+#include <thread>
+#include <vector>
+
+namespace fastcc::sim {
+
+void EpochCoordinator::run(int shards, int workers, const ShardFn& shard_fn,
+                           const BarrierFn& barrier_fn) {
+  assert(shards >= 1);
+  workers = std::clamp(workers, 1, shards);
+
+  if (workers == 1) {
+    while (true) {
+      for (int s = 0; s < shards; ++s) shard_fn(s);
+      if (!barrier_fn()) return;
+    }
+  }
+
+  // Work distribution within an epoch: workers race on an atomic shard
+  // index.  Which worker runs which shard is schedule-dependent — and
+  // irrelevant, because each shard_fn(s) touches only shard s's state and
+  // runs exactly once per epoch regardless of who claims it.
+  std::atomic<int> next{0};
+  std::atomic<bool> stop{false};
+
+  // The completion step runs on exactly one (unspecified) thread after all
+  // workers arrive and before any is released, which is precisely the
+  // single-threaded window barrier_fn needs.  The barrier's release
+  // ordering then publishes everything it wrote — and everything each
+  // worker wrote during the epoch — to every worker; the relaxed atomics
+  // below piggyback on that.
+  auto on_epoch_complete = [&]() noexcept {
+    next.store(0, std::memory_order_relaxed);
+    if (!barrier_fn()) stop.store(true, std::memory_order_relaxed);
+  };
+  std::barrier sync(workers, on_epoch_complete);
+
+  auto work = [&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      while (true) {
+        const int s = next.fetch_add(1, std::memory_order_relaxed);
+        if (s >= shards) break;
+        shard_fn(s);
+      }
+      sync.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers) - 1);
+  for (int w = 1; w < workers; ++w) pool.emplace_back(work);
+  work();  // The calling thread is worker 0, not a bystander.
+  for (std::thread& t : pool) t.join();
+}
+
+}  // namespace fastcc::sim

@@ -1,0 +1,40 @@
+// Conservative barrier-epoch executor for space-parallel simulation.
+//
+// Classic conservative-synchronization PDES, specialized to the one shape
+// this codebase needs: a fixed set of logical shards that may only interact
+// across epoch boundaries.  Time is cut into epochs of length L (the
+// lookahead — the minimum latency of any cross-shard interaction).  Within
+// an epoch every shard advances independently; an event generated in epoch k
+// for another shard cannot take effect before time (k+1)*L, so exchanging
+// those events at a barrier between epochs is sufficient for correctness.
+//
+// The executor knows nothing about simulators or packets.  It runs
+// `shard_fn(s)` for every shard each epoch — spread across `workers` OS
+// threads via an atomic work index, the calling thread participating — then
+// runs `barrier_fn()` exactly once, single-threaded, inside the barrier
+// (publish mailboxes, advance the horizon, decide whether to continue).
+#pragma once
+
+#include <functional>
+
+namespace fastcc::sim {
+
+class EpochCoordinator {
+ public:
+  /// Advances shard `s` through the current epoch.  Called once per shard
+  /// per epoch, possibly from any worker thread, but never concurrently for
+  /// the same shard.
+  using ShardFn = std::function<void(int)>;
+  /// Epoch-boundary step.  Runs single-threaded while all workers are
+  /// parked; returns false to end the run.
+  using BarrierFn = std::function<bool()>;
+
+  /// Runs epochs until `barrier_fn` returns false.  `workers` is clamped to
+  /// [1, shards]; workers == 1 degenerates to a plain serial loop with no
+  /// thread, atomic, or barrier anywhere on the path, so a single-worker
+  /// sharded run is bit-identical to — and as debuggable as — serial code.
+  static void run(int shards, int workers, const ShardFn& shard_fn,
+                  const BarrierFn& barrier_fn);
+};
+
+}  // namespace fastcc::sim

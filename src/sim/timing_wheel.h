@@ -159,9 +159,19 @@ class TimingWheel {
 /// re-covers whatever the wheel holds now.
 class WheelScheduler {
  public:
-  explicit WheelScheduler(Simulator& simulator) : sim_(simulator) {}
+  explicit WheelScheduler(Simulator& simulator) : sim_(&simulator) {}
   WheelScheduler(const WheelScheduler&) = delete;
   WheelScheduler& operator=(const WheelScheduler&) = delete;
+
+  /// Re-homes the driver onto another simulator (space-parallel sharding
+  /// re-binds every node of a shard to that shard's event queue).  Legal
+  /// only while no wakeup is scheduled and no timer pending — i.e. between
+  /// topology construction and the first run.
+  void rebind(Simulator& simulator) {
+    assert(n_outstanding_ == 0 && wheel_.empty() &&
+           "WheelScheduler rebind with timers or wakeups outstanding");
+    sim_ = &simulator;
+  }
 
   TimerId arm(Time deadline, TimingWheel::Callback cb) {
     const TimerId id = wheel_.arm(deadline, std::move(cb));
@@ -200,17 +210,17 @@ class WheelScheduler {
       for (int i = 1; i < kMaxOutstanding; ++i) {
         if (outstanding_[i].at > outstanding_[worst].at) worst = i;
       }
-      sim_.cancel(outstanding_[worst].event);
+      sim_->cancel(outstanding_[worst].event);
       outstanding_[worst] = outstanding_[--n_outstanding_];
     }
     outstanding_[n_outstanding_].at = deadline;
     outstanding_[n_outstanding_].event =
-        sim_.at(deadline, [this] { on_expiry(); });
+        sim_->at(deadline, [this] { on_expiry(); });
     ++n_outstanding_;
   }
 
   void on_expiry() {
-    const Time now = sim_.now();
+    const Time now = sim_->now();
     for (int i = 0; i < n_outstanding_; ++i) {
       if (outstanding_[i].at == now) {
         outstanding_[i] = outstanding_[--n_outstanding_];
@@ -231,7 +241,7 @@ class WheelScheduler {
     EventId event = 0;
   };
 
-  Simulator& sim_;
+  Simulator* sim_;
   TimingWheel wheel_;
   Outstanding outstanding_[kMaxOutstanding];
   int n_outstanding_ = 0;

@@ -17,6 +17,16 @@ FatTreeParams scaled_fat_tree() {
   return p;
 }
 
+FatTreeParams sharded_scaled_fat_tree() {
+  FatTreeParams p;
+  p.pods = 8;
+  p.tors_per_pod = 2;
+  p.aggs_per_pod = 2;
+  p.hosts_per_tor = 4;
+  p.spine_group_size = 2;
+  return p;
+}
+
 FatTreeParams with_oversubscription(FatTreeParams base, double ratio) {
   assert(ratio >= 1.0);
   // Non-blocking uplink capacity per ToR is hosts * host_bw; spread it over
@@ -64,6 +74,35 @@ FatTree build_fat_tree(net::Network& net, const FatTreeParams& p) {
   }
   net.build_routes();
   return ft;
+}
+
+net::ShardMap pod_shard_map(const FatTree& tree, const FatTreeParams& p,
+                            std::size_t node_count) {
+  net::ShardMap m;
+  m.count = p.pods;
+  m.shard.assign(node_count, 0);
+  // The FatTree vectors are pod-major (build_fat_tree appends pod 0's
+  // switches and hosts, then pod 1's, ...), so integer division by the
+  // per-pod counts recovers the pod index.
+  for (std::size_t s = 0; s < tree.spines.size(); ++s) {
+    m.shard[tree.spines[s]->id()] =
+        static_cast<std::int32_t>(s % static_cast<std::size_t>(p.pods));
+  }
+  for (std::size_t a = 0; a < tree.aggs.size(); ++a) {
+    m.shard[tree.aggs[a]->id()] =
+        static_cast<std::int32_t>(a / static_cast<std::size_t>(p.aggs_per_pod));
+  }
+  for (std::size_t t = 0; t < tree.tors.size(); ++t) {
+    m.shard[tree.tors[t]->id()] =
+        static_cast<std::int32_t>(t / static_cast<std::size_t>(p.tors_per_pod));
+  }
+  const std::size_t hosts_per_pod =
+      static_cast<std::size_t>(p.tors_per_pod) *
+      static_cast<std::size_t>(p.hosts_per_tor);
+  for (std::size_t h = 0; h < tree.hosts.size(); ++h) {
+    m.shard[tree.hosts[h]->id()] = static_cast<std::int32_t>(h / hosts_per_pod);
+  }
+  return m;
 }
 
 }  // namespace fastcc::topo

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/network.h"
+#include "net/shard.h"
 
 namespace fastcc::topo {
 
@@ -36,6 +37,11 @@ FatTreeParams full_scale_fat_tree();
 /// 32 hosts) for CI-budget datacenter runs.
 FatTreeParams scaled_fat_tree();
 
+/// A wide scaled instance (8 pods, 2x2 switches, 4 hosts/ToR = 64 hosts,
+/// 4 spines) for space-parallel runs: one shard per pod gives 8-way
+/// parallelism at a CI-budget host count.
+FatTreeParams sharded_scaled_fat_tree();
+
 /// Derives an oversubscribed variant: fabric links scaled down so the
 /// ToR-uplink capacity is 1/ratio of the attached host capacity (ratio 1 =
 /// the paper's non-blocking fabric; ratio 4 = a typical 4:1 production
@@ -51,5 +57,12 @@ struct FatTree {
 
 /// Builds the fat-tree into `net` and installs ECMP routes.
 FatTree build_fat_tree(net::Network& net, const FatTreeParams& params);
+
+/// Pod-sharding assignment for space-parallel execution: every ToR, Agg,
+/// and host of pod p maps to shard p; spine s maps to shard s mod pods
+/// (round-robin, so spine work spreads across shards).  `node_count` is
+/// Network::node_count() after build_fat_tree.
+net::ShardMap pod_shard_map(const FatTree& tree, const FatTreeParams& params,
+                            std::size_t node_count);
 
 }  // namespace fastcc::topo

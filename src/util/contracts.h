@@ -26,6 +26,20 @@
 //                    inspect the handle but ownership stays with the caller;
 //                    the callee must not release or retain it.
 //
+//   FASTCC_CONSUMES_XSHARD  on a PacketRef parameter: the callee consumes
+//                    the handle by serializing the packet *out of its pool*
+//                    for a cross-shard handoff (PacketPool::export_release).
+//                    The handle ends in the `transferred-cross-shard` state:
+//                    it is dead in this shard, and the bytes continue life
+//                    in another shard's pool under a new handle.
+//   FASTCC_XSHARD_SINK  on a function taking a serialized packet across a
+//                    shard boundary (a mailbox deposit).  fastcc-dataflow
+//                    requires every live PacketRef reaching a sink call to
+//                    be wrapped in a FASTCC_CONSUMES_XSHARD serialization —
+//                    a raw handle in a sink argument is a blocking
+//                    `raw-cross-shard-handoff` finding, because handles are
+//                    meaningless in the destination pool.
+//
 // Unannotated PacketRef parameters are treated as borrows; a body that
 // releases or transfers such a parameter is a contract violation.
 #pragma once
@@ -34,6 +48,8 @@
 #define FASTCC_CONSUMES [[clang::annotate("fastcc::consumes")]]
 #define FASTCC_PRODUCES [[clang::annotate("fastcc::produces")]]
 #define FASTCC_BORROWS [[clang::annotate("fastcc::borrows")]]
+#define FASTCC_CONSUMES_XSHARD [[clang::annotate("fastcc::consumes_xshard")]]
+#define FASTCC_XSHARD_SINK [[clang::annotate("fastcc::xshard_sink")]]
 #else
 // GCC warns on unknown scoped attributes (-Wattributes); the token-mode
 // analyzer keys on the macro *names* in source, so expanding to nothing
@@ -41,4 +57,6 @@
 #define FASTCC_CONSUMES
 #define FASTCC_PRODUCES
 #define FASTCC_BORROWS
+#define FASTCC_CONSUMES_XSHARD
+#define FASTCC_XSHARD_SINK
 #endif

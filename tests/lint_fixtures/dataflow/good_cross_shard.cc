@@ -1,0 +1,41 @@
+// fastcc-dataflow fixture: the legal cross-shard handoff — serialize the
+// handle out of the pool with export_release (FASTCC_CONSUMES_XSHARD) and
+// hand the resulting by-value Packet to the FASTCC_XSHARD_SINK deposit.
+// The analysis must stay silent on every function here.  Never compiled.
+//
+// clean-dataflow: raw-cross-shard-handoff
+
+struct PacketPool {
+  FASTCC_PRODUCES PacketRef alloc();
+  Packet& get(FASTCC_BORROWS PacketRef ref);
+  void release(FASTCC_CONSUMES PacketRef ref);
+  Packet export_release(FASTCC_CONSUMES_XSHARD PacketRef ref);
+};
+struct ShardRouter {
+  FASTCC_XSHARD_SINK void deposit(Packet&& pkt, Time arrival, NodeId dst_node,
+                                  int dst_port);
+};
+
+namespace fastcc::good {
+
+// Serialize-then-deposit in one expression: the handle dies inside
+// export_release; the sink only ever sees bytes.
+void serialize_then_deposit(PacketPool& pool, ShardRouter& router) {
+  PacketRef ref = pool.alloc();
+  Packet& p = pool.get(ref);
+  p.ecn = false;
+  router.deposit(pool.export_release(ref), 100, 3, 0);
+}
+
+// Branching: one path keeps the packet local, the other crosses the
+// boundary; both end the handle's life exactly once.
+void local_or_remote(PacketPool& pool, ShardRouter& router, bool remote) {
+  PacketRef ref = pool.alloc();
+  if (remote) {
+    router.deposit(pool.export_release(ref), 200, 5, 1);
+  } else {
+    pool.release(ref);
+  }
+}
+
+}  // namespace fastcc::good

@@ -156,5 +156,66 @@ TEST(PacketRing, FifoAcrossGrowthAndWraparound) {
   EXPECT_EQ(next_pop, expect.size());
 }
 
+TEST(PacketPool, LiveAndPeakCountsTrackAllocReleaseExactly) {
+  PacketPool pool;
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.peak_count(), 0u);
+
+  std::vector<PacketRef> refs;
+  for (int i = 0; i < 5; ++i) refs.push_back(pool.alloc());
+  EXPECT_EQ(pool.live_count(), 5u);
+  EXPECT_EQ(pool.peak_count(), 5u);
+
+  pool.release(refs.back());
+  refs.pop_back();
+  pool.release(refs.back());
+  refs.pop_back();
+  EXPECT_EQ(pool.live_count(), 3u);
+  // Peak is a high-water mark: releases never lower it.
+  EXPECT_EQ(pool.peak_count(), 5u);
+
+  // Climbing back to 4 live stays under the old peak...
+  refs.push_back(pool.alloc());
+  EXPECT_EQ(pool.live_count(), 4u);
+  EXPECT_EQ(pool.peak_count(), 5u);
+  // ...and only exceeding it moves the mark.
+  refs.push_back(pool.alloc());
+  refs.push_back(pool.alloc());
+  EXPECT_EQ(pool.live_count(), 6u);
+  EXPECT_EQ(pool.peak_count(), 6u);
+
+  for (const PacketRef r : refs) pool.release(r);
+  EXPECT_EQ(pool.live_count(), 0u);
+  EXPECT_EQ(pool.peak_count(), 6u);
+}
+
+TEST(PacketPool, ExportReleaseAndImportMovePacketsBetweenPools) {
+  PacketPool src_pool;
+  PacketPool dst_pool;
+  // The teardown audit is the sharded runner's leak tripwire; arming it
+  // here asserts (in debug builds) that this test's bookkeeping is exact.
+  src_pool.enable_teardown_leak_audit();
+  dst_pool.enable_teardown_leak_audit();
+
+  const PacketRef ref = src_pool.alloc();
+  src_pool.get(ref).wire_bytes = 777;
+  src_pool.get(ref).seq = 42;
+
+  // Export: bytes come out, the handle dies, the slot frees.
+  const Packet crossing = src_pool.export_release(ref);
+  EXPECT_EQ(src_pool.live_count(), 0u);
+  EXPECT_FALSE(src_pool.is_current(ref));
+  EXPECT_EQ(crossing.wire_bytes, 777u);
+
+  // Import: a fresh handle in the destination pool, same bytes.
+  const PacketRef imported = dst_pool.import_packet(crossing);
+  EXPECT_EQ(dst_pool.live_count(), 1u);
+  EXPECT_EQ(dst_pool.get(imported).wire_bytes, 777u);
+  EXPECT_EQ(dst_pool.get(imported).seq, 42u);
+
+  dst_pool.release(imported);
+  EXPECT_EQ(dst_pool.live_count(), 0u);
+}
+
 }  // namespace
 }  // namespace fastcc::net

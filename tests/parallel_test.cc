@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <set>
 #include <mutex>
 
@@ -114,6 +115,33 @@ TEST(ParallelForIndex, MoreWorkersThanWorkIsSafe) {
   std::atomic<int> calls{0};
   parallel_for_index(3, 64, [&](std::size_t) { ++calls; });
   EXPECT_EQ(calls.load(), 3);
+}
+
+TEST(ParallelForIndex, CallingThreadParticipatesAsWorkerZero) {
+  const std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> caller_ran{false};
+  std::atomic<int> calls{0};
+  // Spawned workers park inside their first claimed index until the caller
+  // has run one itself (bounded wait, so a regression fails rather than
+  // hangs).  They can pin at most workers-1 indices while parked, so the
+  // caller — whose claim loop runs unconditionally after spawning — always
+  // finds indices left to prove participation on.
+  parallel_for_index(64, 4, [&](std::size_t) {
+    ++calls;
+    if (std::this_thread::get_id() == caller) {
+      caller_ran = true;
+    } else {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(2);
+      while (!caller_ran && std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::yield();
+      }
+    }
+  });
+  EXPECT_TRUE(caller_ran.load())
+      << "calling thread never claimed an index: it spawned workers and "
+         "parked in join() instead of working";
+  EXPECT_EQ(calls.load(), 64);
 }
 
 }  // namespace

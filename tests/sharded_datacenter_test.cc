@@ -1,0 +1,140 @@
+// Space-parallel (pod-sharded) datacenter runs.
+//
+// The contract under test: run_datacenter_sharded() is a pure function of
+// (config) — the worker count changes wall-clock only, never a single byte
+// of the result — and a fully drained run leaves every shard's packet pool
+// empty even though packets hop between pools at every pod boundary.
+#include "experiments/sharded.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "workload/distributions.h"
+
+namespace fastcc::exp {
+namespace {
+
+DatacenterConfig sharded_config() {
+  DatacenterConfig c;
+  c.variant = Variant::kHpccVaiSf;
+  c.topo = topo::sharded_scaled_fat_tree();
+  c.components = {{&workload::hadoop_cdf(), 1.0}};
+  c.load = 0.5;
+  c.generate_duration = 100 * sim::kMicrosecond;
+  c.seed = 7;
+  return c;
+}
+
+// Every observable, bit for bit — per-flow timings included.
+void expect_identical(const DatacenterResult& a, const DatacenterResult& b) {
+  EXPECT_EQ(a.drops, b.drops);
+  EXPECT_EQ(a.events_executed, b.events_executed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  EXPECT_EQ(a.unfinished, b.unfinished);
+  ASSERT_EQ(a.flows.size(), b.flows.size());
+  for (std::size_t i = 0; i < a.flows.size(); ++i) {
+    EXPECT_EQ(a.flows[i].id, b.flows[i].id);
+    EXPECT_EQ(a.flows[i].size_bytes, b.flows[i].size_bytes);
+    EXPECT_EQ(a.flows[i].start_time, b.flows[i].start_time);
+    EXPECT_EQ(a.flows[i].fct, b.flows[i].fct);
+    EXPECT_EQ(a.flows[i].ideal_fct, b.flows[i].ideal_fct);
+  }
+}
+
+// The tentpole guarantee: the logical partition is fixed by the topology
+// (one shard per pod), so 1, 2, and 8 workers replay the identical
+// simulation.  1 worker takes the serial code path (no threads, no barrier),
+// 2 forces multiple shards per worker, 8 is one shard per worker.
+TEST(ShardedDatacenter, ThreadCountInvariance) {
+  const DatacenterResult r1 = run_datacenter_sharded(sharded_config(), 1);
+  const DatacenterResult r2 = run_datacenter_sharded(sharded_config(), 2);
+  const DatacenterResult r8 = run_datacenter_sharded(sharded_config(), 8);
+  ASSERT_GT(r1.flows.size(), 50u);
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+}
+
+// Pool hygiene across shard boundaries: a packet leaving pod A is
+// export_release'd from A's pool and re-materialized in B's, so after a
+// full drain every pool must be exactly empty — any nonzero live count is
+// a leaked slot in the handoff path.
+TEST(ShardedDatacenter, CrossShardHandoffLeakFree) {
+  ShardedRunStats stats;
+  const DatacenterResult r = run_datacenter_sharded(sharded_config(), 8, &stats);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.shards, 8);
+  EXPECT_EQ(stats.lookahead, 1 * sim::kMicrosecond);
+  // Hadoop traffic over 8 pods crosses boundaries constantly; a run where
+  // nothing transferred would mean the boundary wiring silently fell back
+  // to intra-shard delivery.
+  EXPECT_GT(stats.cross_shard_transfers, 1000u);
+  EXPECT_GT(stats.epochs, 10u);
+  ASSERT_EQ(stats.pool_live_at_end.size(), 8u);
+  for (int s = 0; s < 8; ++s) {
+    EXPECT_EQ(stats.pool_live_at_end[s], 0u) << "shard " << s;
+    EXPECT_GT(stats.pool_peak[s], 0u) << "shard " << s;
+  }
+}
+
+// The sharded runner must simulate the same experiment as the serial one:
+// identical flow population (ids, sizes, sources' start times) from a given
+// seed, and every flow completing.  Timings are compared statistically, not
+// exactly — per-shard Rng streams and epoch-batched injection reorder
+// same-timestamp ties relative to the serial schedule.
+TEST(ShardedDatacenter, MatchesSerialFlowPopulation) {
+  const DatacenterConfig c = sharded_config();
+  DatacenterResult serial = run_datacenter(c);
+  const DatacenterResult sharded = run_datacenter_sharded(c, 8);
+  EXPECT_EQ(serial.unfinished, 0u);
+  EXPECT_EQ(sharded.unfinished, 0u);
+  std::sort(serial.flows.begin(), serial.flows.end(),
+            [](const stats::FlowRecord& a, const stats::FlowRecord& b) {
+              return a.id < b.id;
+            });
+  ASSERT_EQ(serial.flows.size(), sharded.flows.size());
+  double serial_mean = 0.0;
+  double sharded_mean = 0.0;
+  for (std::size_t i = 0; i < serial.flows.size(); ++i) {
+    EXPECT_EQ(serial.flows[i].id, sharded.flows[i].id);
+    EXPECT_EQ(serial.flows[i].size_bytes, sharded.flows[i].size_bytes);
+    EXPECT_EQ(serial.flows[i].start_time, sharded.flows[i].start_time);
+    EXPECT_EQ(serial.flows[i].ideal_fct, sharded.flows[i].ideal_fct);
+    serial_mean += serial.flows[i].slowdown();
+    sharded_mean += sharded.flows[i].slowdown();
+  }
+  serial_mean /= static_cast<double>(serial.flows.size());
+  sharded_mean /= static_cast<double>(sharded.flows.size());
+  // Same physics, different tie-breaks: aggregate congestion must agree.
+  EXPECT_NEAR(sharded_mean, serial_mean, 0.25 * serial_mean);
+}
+
+// RED marking draws randomness at switch ports, and DCQCN enables PFC —
+// both cross shard boundaries here (per-shard Rng streams; pause/resume
+// frames through the mailboxes).  The invariance contract must survive
+// that too.
+TEST(ShardedDatacenter, RedAndPfcVariantStaysDeterministic) {
+  DatacenterConfig c = sharded_config();
+  c.variant = Variant::kDcqcn;
+  c.load = 0.8;
+  const DatacenterResult r1 = run_datacenter_sharded(c, 1);
+  const DatacenterResult r8 = run_datacenter_sharded(c, 8);
+  ASSERT_GT(r1.flows.size(), 0u);
+  expect_identical(r1, r8);
+}
+
+// TSan target: maximum barrier contention — more workers than cores, many
+// short epochs, every worker racing on the claim index and the mailboxes'
+// publish/drain edges.  Run twice to also catch state bleeding between
+// coordinator lifetimes.
+TEST(ShardedDatacenter, EpochBarrierUnderContention) {
+  DatacenterConfig c = sharded_config();
+  c.generate_duration = 30 * sim::kMicrosecond;
+  const DatacenterResult a = run_datacenter_sharded(c, 8);
+  const DatacenterResult b = run_datacenter_sharded(c, 8);
+  expect_identical(a, b);
+}
+
+}  // namespace
+}  // namespace fastcc::exp

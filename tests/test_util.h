@@ -36,7 +36,7 @@ class SinkNode : public net::Node {
   void receive(net::PacketRef ref, int in_port) override {
     const net::Packet& p = packet_pool()->get(ref);
     consume(p);
-    arrivals_.push_back(Arrival{p, sim_.now(), in_port});
+    arrivals_.push_back(Arrival{p, sim_->now(), in_port});
     packet_pool()->release(ref);
   }
 
