@@ -11,6 +11,7 @@
 #include "net/network.h"
 #include "net/shard.h"
 #include "sim/epoch.h"
+#include "util/contracts.h"
 #include "sim/simulator.h"
 
 namespace fastcc::exp {
@@ -32,7 +33,7 @@ struct ShardState {
 /// records; re-sorting by (arrival, src, seq) makes the injection order —
 /// and therefore any same-timestamp tie-break in the event queue —
 /// canonical.
-void inject_inbox(sim::Simulator& sim, net::PacketPool& pool,
+FASTCC_SHARD_LOCAL void inject_inbox(sim::Simulator& sim, net::PacketPool& pool,
                   net::Network& network, net::ShardMailboxes& mailboxes,
                   int s, std::vector<net::CrossShardPacket>& inbox) {
   inbox.clear();
@@ -56,6 +57,56 @@ void inject_inbox(sim::Simulator& sim, net::PacketPool& pool,
     sim.at(rec.arrival, std::move(arrive));
   }
   inbox.clear();
+}
+
+/// Mutable state the epoch loop threads across the barrier.  Every field is
+/// written only inside the completion step (epoch_barrier below) and read by
+/// workers at the next epoch's start; the barrier's release ordering makes
+/// each update visible.
+struct EpochLoopState {
+  FASTCC_EPOCH_PUBLISH sim::Time horizon = 0;
+  FASTCC_EPOCH_PUBLISH std::uint64_t epochs = 0;
+  FASTCC_EPOCH_PUBLISH bool drained = false;
+};
+
+/// Worker phase: advances shard `s` through the current epoch — inject the
+/// transfers published for it at the last barrier, then run its private
+/// simulator to the horizon.  Touches only shard s's state plus the
+/// mailboxes' reader-owned column.
+FASTCC_SHARD_LOCAL void advance_shard(
+    std::vector<std::unique_ptr<sim::Simulator>>& sims,
+    std::vector<std::unique_ptr<net::PacketPool>>& pools, net::Network& network,
+    net::ShardMailboxes& mailboxes, std::vector<ShardState>& shard_state,
+    const EpochLoopState& loop, int s) {
+  const auto si = static_cast<std::size_t>(s);
+  inject_inbox(*sims[si], *pools[si], network, mailboxes, s,
+               shard_state[si].inbox);
+  sims[si]->run(loop.horizon - 1);
+}
+
+/// Barrier completion step: runs single-threaded while every worker is
+/// parked.  Publishes the mailboxes, decides termination (full drain or the
+/// simulated-time cap), and advances the horizon.  The only place
+/// EpochLoopState is written.
+FASTCC_EPOCH_PUBLISH bool epoch_barrier(
+    std::vector<std::unique_ptr<sim::Simulator>>& sims,
+    net::ShardMailboxes& mailboxes, sim::Time lookahead,
+    sim::Time max_sim_time, EpochLoopState& loop) {
+  ++loop.epochs;
+  mailboxes.publish();
+  bool queues_empty = true;
+  for (const auto& sim : sims) {
+    queues_empty = queues_empty && sim->queue().empty();
+  }
+  if (queues_empty && mailboxes.all_empty()) {
+    // Nothing pending anywhere: the simulation is fully drained and no
+    // future epoch can create work.
+    loop.drained = true;
+    return false;
+  }
+  if (loop.horizon >= max_sim_time) return false;  // Drain cap.
+  loop.horizon += lookahead;
+  return true;
 }
 
 }  // namespace
@@ -218,35 +269,19 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
   // Epoch k covers simulated [k*L, (k+1)*L).  Simulator::run(until) is
   // inclusive of `until`, so each shard runs to horizon - 1; a bounded run
   // leaves the clock at the bound even when the queue is idle, which keeps
-  // every shard's notion of "now" aligned at each barrier.
-  sim::Time horizon = lookahead;
-  std::uint64_t epochs = 0;
-  bool drained = false;
+  // every shard's notion of "now" aligned at each barrier.  The worker and
+  // completion-step bodies live in the named phase-annotated functions
+  // above; the lambdas only bind this run's state to them.
+  EpochLoopState loop;
+  loop.horizon = lookahead;
 
   auto shard_fn = [&](int s) {
-    const auto si = static_cast<std::size_t>(s);
-    inject_inbox(*sims[si], *pools[si], network, mailboxes, s,
-                 shard_state[si].inbox);
-    sims[si]->run(horizon - 1);
+    advance_shard(sims, pools, network, mailboxes, shard_state, loop, s);
   };
 
   auto barrier_fn = [&]() -> bool {
-    ++epochs;
-    mailboxes.publish();
-    bool queues_empty = true;
-    for (int s = 0; s < shards; ++s) {
-      queues_empty =
-          queues_empty && sims[static_cast<std::size_t>(s)]->queue().empty();
-    }
-    if (queues_empty && mailboxes.all_empty()) {
-      // Nothing pending anywhere: the simulation is fully drained and no
-      // future epoch can create work.
-      drained = true;
-      return false;
-    }
-    if (horizon >= config.max_sim_time) return false;  // Drain cap.
-    horizon += lookahead;
-    return true;
+    return epoch_barrier(sims, mailboxes, lookahead, config.max_sim_time,
+                         loop);
   };
 
   sim::EpochCoordinator::run(shards, workers, shard_fn, barrier_fn);
@@ -274,9 +309,9 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
     stats_out->shards = shards;
     stats_out->workers = std::clamp(workers, 1, shards);
     stats_out->lookahead = lookahead;
-    stats_out->epochs = epochs;
+    stats_out->epochs = loop.epochs;
     stats_out->cross_shard_transfers = mailboxes.total_transfers();
-    stats_out->drained = drained;
+    stats_out->drained = loop.drained;
     stats_out->pool_peak.clear();
     stats_out->pool_live_at_end.clear();
     for (const auto& pool : pools) {
@@ -285,7 +320,7 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
     }
   }
 
-  if (drained) {
+  if (loop.drained) {
     // A drained run must leave zero live packets per shard: every packet
     // was either consumed locally or export_release'd across a boundary
     // and released there.  Arm the destructor audit so a leak fails loudly.

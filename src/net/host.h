@@ -64,7 +64,8 @@ class Host : public Node {
   sim::Rate total_send_rate_recomputed() const;
 
  protected:
-  void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
+  FASTCC_SHARD_LOCAL void receive(FASTCC_CONSUMES PacketRef ref,
+                                  int in_port) override;
 
  private:
   void handle_data(const Packet& p);
@@ -110,11 +111,11 @@ class Host : public Node {
 
   // Insertion-ordered so that aggregate walks (the equivalence recompute's
   // double accumulation) visit flows in start order, not hash order.
-  util::InsertionOrderedMap<FlowId, FlowTx> tx_flows_;
-  util::InsertionOrderedMap<FlowId, RxState> rx_flows_;
+  FASTCC_SHARD_LOCAL util::InsertionOrderedMap<FlowId, FlowTx> tx_flows_;
+  FASTCC_SHARD_LOCAL util::InsertionOrderedMap<FlowId, RxState> rx_flows_;
   std::size_t active_flows_ = 0;
   sim::Rate rate_sum_ = 0.0;
-  std::vector<PacingEntry> pacing_heap_;
+  FASTCC_SHARD_LOCAL std::vector<PacingEntry> pacing_heap_;
   sim::TimerId nic_timer_ = 0;
   sim::Time nic_timer_at_ = -1;
   bool nic_timer_armed_ = false;

@@ -31,7 +31,8 @@ void Node::rebind_shard(sim::Simulator& simulator, PacketPool* pool) {
   for (auto& p : ports_) p->rebind_simulator(simulator);
 }
 
-void Node::deliver(FASTCC_CONSUMES PacketRef ref, int in_port) {
+FASTCC_SHARD_LOCAL void Node::deliver(FASTCC_CONSUMES PacketRef ref,
+                                      int in_port) {
   assert(in_port >= 0 && in_port < port_count());
   assert(pool_ != nullptr && "node has no packet pool bound");
   Packet& p = pool_->get(ref);
@@ -52,7 +53,7 @@ void Node::deliver(FASTCC_CONSUMES PacketRef ref, int in_port) {
   receive(ref, in_port);
 }
 
-void Node::on_packet_departed(const Packet& p) {
+FASTCC_SHARD_LOCAL void Node::on_packet_departed(const Packet& p) {
   if (p.ingress_port >= 0) {
     pfc_account(p.ingress_port, -static_cast<std::int64_t>(p.wire_bytes));
   }
@@ -80,7 +81,7 @@ void Node::pfc_account(int in_port, std::int64_t delta_bytes) {
   }
 }
 
-void Node::send_pfc(int in_port, bool pause) {
+FASTCC_SHARD_LOCAL void Node::send_pfc(int in_port, bool pause) {
   Port& reverse = *ports_[in_port];
   if (!reverse.connected()) return;
   // PFC frames are tiny and sent at highest priority; model them as arriving

@@ -62,8 +62,9 @@ class Node {
   void rebind_shard(sim::Simulator& simulator, PacketPool* pool);
 
   /// Entry point for packets arriving off the wire.  `in_port` is the index
-  /// of this node's reverse-direction port for the arrival link.
-  void deliver(FASTCC_CONSUMES PacketRef ref, int in_port);
+  /// of this node's reverse-direction port for the arrival link.  Worker
+  /// phase: runs only on the thread currently advancing this node's shard.
+  FASTCC_SHARD_LOCAL void deliver(FASTCC_CONSUMES PacketRef ref, int in_port);
 
   /// Called by a Port when a packet starts serialization (or dies in a tail
   /// drop) and thus leaves the node's buffer: releases the PFC ingress
@@ -79,8 +80,9 @@ class Node {
 
  protected:
   /// Subclass packet handling (forwarding for switches, host protocol).
-  /// The callee owns the handle: forward it or release it.
-  virtual void receive(FASTCC_CONSUMES PacketRef ref, int in_port) = 0;
+  /// The callee owns the handle: forward it or release it.  Worker phase.
+  FASTCC_SHARD_LOCAL virtual void receive(FASTCC_CONSUMES PacketRef ref,
+                                          int in_port) = 0;
 
   /// Consumes a packet at this node (hosts): releases PFC accounting.
   void consume(const Packet& p);
@@ -88,19 +90,19 @@ class Node {
   sim::Simulator* sim_;  ///< Never null; a pointer only so rebind_shard works.
 
  private:
-  sim::WheelScheduler wheel_{*sim_};
+  FASTCC_SHARD_LOCAL sim::WheelScheduler wheel_{*sim_};
 
   void pfc_account(int in_port, std::int64_t delta_bytes);
   void send_pfc(int in_port, bool pause);
 
   NodeId id_;
   std::string name_;
-  std::vector<std::unique_ptr<Port>> ports_;
-  PacketPool* pool_ = nullptr;
+  FASTCC_SHARD_LOCAL std::vector<std::unique_ptr<Port>> ports_;
+  FASTCC_SHARD_LOCAL PacketPool* pool_ = nullptr;
 
   PfcParams pfc_;
-  std::vector<std::uint64_t> ingress_bytes_;
-  std::vector<bool> ingress_paused_;  // we told upstream to pause
+  FASTCC_SHARD_LOCAL std::vector<std::uint64_t> ingress_bytes_;
+  FASTCC_SHARD_LOCAL std::vector<bool> ingress_paused_;  // pause sent upstream
 };
 
 }  // namespace fastcc::net

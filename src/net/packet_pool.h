@@ -59,7 +59,7 @@ struct PacketRef {
   bool operator==(const PacketRef&) const = default;
 };
 
-class PacketPool {
+class FASTCC_SHARD_LOCAL PacketPool {
  public:
   PacketPool() = default;
   PacketPool(const PacketPool&) = delete;
@@ -201,7 +201,7 @@ class PacketPool {
 /// Index ring buffer of PacketRef handles — the Port egress queue.  Replaces
 /// std::deque<Packet>: 4 bytes per queued packet instead of ~300, contiguous,
 /// and allocation-free once grown to the high-water capacity.
-class PacketRing {
+class FASTCC_SHARD_LOCAL PacketRing {
  public:
   bool empty() const { return size_ == 0; }
   std::size_t size() const { return size_; }

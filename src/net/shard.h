@@ -33,7 +33,7 @@ namespace fastcc::net {
 /// topology (see topo::pod_shard_map) and read-only afterwards, so every
 /// worker may consult it concurrently.
 struct ShardMap {
-  std::vector<std::int32_t> shard;  ///< Indexed by NodeId.
+  FASTCC_SHARD_SHARED_RO std::vector<std::int32_t> shard;  ///< By NodeId.
   int count = 1;                    ///< Number of shards (== pods).
 
   int of(NodeId id) const {
@@ -81,7 +81,13 @@ class CrossShardSink {
 ///   * During the next epoch, cell (s, d) of `ready_` is read only by the
 ///     worker running shard d.  No one writes it.
 /// The epoch barrier's acquire/release ordering makes each hand-off visible.
-class ShardMailboxes {
+///
+/// fastcc-shardsafe enforces the protocol statically: the class is the typed
+/// FASTCC_XSHARD_CHANNEL, its deposit/drain methods are worker-phase
+/// (FASTCC_SHARD_LOCAL) and its publish side is barrier-phase
+/// (FASTCC_EPOCH_PUBLISH); the two places where one side legitimately
+/// touches the other side's cells carry reasoned allows below.
+class FASTCC_XSHARD_CHANNEL ShardMailboxes {
  public:
   explicit ShardMailboxes(int shards)
       : shards_(shards),
@@ -93,7 +99,7 @@ class ShardMailboxes {
 
   /// Appends a transfer to the (src, dst) pending cell and stamps its
   /// sequence number.  Caller must be the worker running shard `src`.
-  void put(int src, int dst, CrossShardPacket&& rec) {
+  FASTCC_SHARD_LOCAL void put(int src, int dst, CrossShardPacket&& rec) {
     auto& c = cell(pending_, src, dst);
     rec.src_shard = src;
     rec.seq = seq_[index(src, dst)]++;
@@ -102,11 +108,14 @@ class ShardMailboxes {
 
   /// Moves every pending cell into the ready side.  Must run while all
   /// workers are parked at the epoch barrier (single-threaded).
-  void publish() {
+  FASTCC_EPOCH_PUBLISH void publish() {
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (pending_[i].empty()) continue;
       auto& r = ready_[i];
       for (auto& rec : pending_[i]) r.push_back(std::move(rec));
+      // The publish step is the ownership handoff point: all workers are
+      // parked, so draining the worker-side cell here cannot race.
+      // lint:allow(epoch-phase-write -- barrier step drains worker cells while all workers are parked)
       pending_[i].clear();
     }
   }
@@ -114,17 +123,20 @@ class ShardMailboxes {
   /// Drains everything published for shard `dst` into `out` (appended in
   /// ascending src-shard order; each cell is already seq-ordered).  Caller
   /// must be the worker running shard `dst`.
-  void take_ready(int dst, std::vector<CrossShardPacket>& out) {
+  FASTCC_SHARD_LOCAL void take_ready(int dst, std::vector<CrossShardPacket>& out) {
     for (int src = 0; src < shards_; ++src) {
       auto& c = cell(ready_, src, dst);
       for (auto& rec : c) out.push_back(std::move(rec));
+      // Single-reader drain: only shard dst's worker touches column (*, dst)
+      // of the ready side, and only after the publishing barrier.
+      // lint:allow(epoch-phase-write -- reader-owned column drain after the publish barrier)
       c.clear();
     }
   }
 
   /// True when no transfer is pending or published anywhere.  Part of the
   /// termination condition; must run at the barrier (single-threaded).
-  bool all_empty() const {
+  FASTCC_EPOCH_PUBLISH bool all_empty() const {
     for (const auto& c : pending_)
       if (!c.empty()) return false;
     for (const auto& c : ready_)
@@ -153,9 +165,9 @@ class ShardMailboxes {
   }
 
   int shards_;
-  std::vector<Cell> pending_;
-  std::vector<Cell> ready_;
-  std::vector<std::uint64_t> seq_;
+  FASTCC_SHARD_LOCAL std::vector<Cell> pending_;   ///< Writer-side cells.
+  FASTCC_EPOCH_PUBLISH std::vector<Cell> ready_;   ///< Published cells.
+  FASTCC_SHARD_LOCAL std::vector<std::uint64_t> seq_;
 };
 
 /// The per-source-shard CrossShardSink: looks up the destination's shard in
@@ -182,7 +194,7 @@ class ShardRouter final : public CrossShardSink {
 
  private:
   ShardMailboxes* mailboxes_;
-  const ShardMap* map_;
+  FASTCC_SHARD_SHARED_RO const ShardMap* map_;
   int src_shard_;
 };
 

@@ -32,7 +32,9 @@ class SwitchNode : public Node {
   void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
 
  private:
-  std::vector<std::vector<int>> routes_by_dst_;  // indexed by NodeId
+  /// Built by Network::build_routes() before the run; read-only afterwards
+  /// (ECMP lookups happen concurrently from every shard's worker).
+  FASTCC_SHARD_SHARED_RO std::vector<std::vector<int>> routes_by_dst_;
   static const std::vector<int> kNoRoutes;
 };
 

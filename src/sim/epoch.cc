@@ -9,8 +9,9 @@
 
 namespace fastcc::sim {
 
-void EpochCoordinator::run(int shards, int workers, const ShardFn& shard_fn,
-                           const BarrierFn& barrier_fn) {
+void EpochCoordinator::run(int shards, int workers,
+                           FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
+                           FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn) {
   assert(shards >= 1);
   workers = std::clamp(workers, 1, shards);
 

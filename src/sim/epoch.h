@@ -17,6 +17,8 @@
 
 #include <functional>
 
+#include "util/contracts.h"
+
 namespace fastcc::sim {
 
 class EpochCoordinator {
@@ -33,8 +35,15 @@ class EpochCoordinator {
   /// [1, shards]; workers == 1 degenerates to a plain serial loop with no
   /// thread, atomic, or barrier anywhere on the path, so a single-worker
   /// sharded run is bit-identical to — and as debuggable as — serial code.
-  static void run(int shards, int workers, const ShardFn& shard_fn,
-                  const BarrierFn& barrier_fn);
+  ///
+  /// Phase contract (checked by fastcc-shardsafe at the call sites that
+  /// implement the callables): `shard_fn` is worker-phase code — it may
+  /// touch only FASTCC_SHARD_LOCAL state of the shard it was handed —
+  /// while `barrier_fn` is the single-threaded completion step, the only
+  /// place FASTCC_EPOCH_PUBLISH state may be written.
+  static void run(int shards, int workers,
+                  FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
+                  FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn);
 };
 
 }  // namespace fastcc::sim

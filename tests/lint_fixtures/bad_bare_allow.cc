@@ -1,0 +1,13 @@
+// fastcc-lint fixture: a bare lint:allow — no `-- reason` — must NOT
+// suppress.  The finding still fires, carrying a trailing note that the
+// allow was ignored.  Contrast good_allow.cc, where every suppression
+// carries a reason and is honoured.
+
+// lint:allow(mutable-global)
+static int g_bare_above = 0;  // expect-lint: mutable-global
+
+static int g_bare_inline = 0;  // lint:allow(mutable-global)  // expect-lint: mutable-global
+
+// An empty reason is a bare allow too: `--` alone documents nothing.
+// lint:allow(mutable-global --)
+static int g_bare_empty_reason = 0;  // expect-lint: mutable-global

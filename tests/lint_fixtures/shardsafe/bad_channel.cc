@@ -1,0 +1,25 @@
+// fastcc-shardsafe fixture: FASTCC_XSHARD_CHANNEL methods called from the
+// wrong phase.  Firing cases for [xshard-channel-phase] — worker-phase code
+// invoking the publish side (it would race every other worker's pending
+// cells), and barrier completion-step code invoking the worker-side
+// deposit (the barrier does not own any shard's pending cell).
+
+class FASTCC_XSHARD_CHANNEL FixBadBox {
+ public:
+  FASTCC_SHARD_LOCAL void fix_put_slot(int v) { fix_slot_ = v; }
+  FASTCC_EPOCH_PUBLISH void fix_publish_slots() { fix_shown_ = fix_slot_; }
+
+ private:
+  FASTCC_SHARD_LOCAL int fix_slot_ = 0;
+  FASTCC_EPOCH_PUBLISH int fix_shown_ = 0;
+};
+
+struct FixBadRunner {
+  FASTCC_SHARD_LOCAL void fix_worker_publishes(FixBadBox& box) {
+    box.fix_publish_slots();  // expect-shardsafe: xshard-channel-phase
+  }
+
+  FASTCC_EPOCH_PUBLISH void fix_barrier_deposits(FixBadBox& box) {
+    box.fix_put_slot(1);  // expect-shardsafe: xshard-channel-phase
+  }
+};

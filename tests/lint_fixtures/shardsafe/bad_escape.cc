@@ -1,0 +1,42 @@
+// fastcc-shardsafe fixture: shard-local state escaping across the shard
+// boundary.  Firing cases for [shard-local-escape] — a raw pool handle,
+// a pointer to shard-local state, an alias of such a pointer, and a
+// shard-local-capturing closure each reach a cross-shard sink.  A raw
+// handle is meaningless in the destination shard's pool; only bytes
+// serialized through a FASTCC_CONSUMES_XSHARD call may cross.
+//
+// Fixture-local stand-ins for the real pool/sink types; the analyzer keys
+// on the contract macros, not on the type names.
+
+class FASTCC_SHARD_LOCAL FixPool {};
+
+struct FixRef {
+  int idx = -1;
+};
+
+FASTCC_XSHARD_SINK void fix_deposit(FixRef bytes, long long arrival);
+FASTCC_XSHARD_SINK void fix_publish_cell(long long* cell);
+FASTCC_XSHARD_SINK void fix_store_callback(int key);
+FASTCC_PRODUCES FixRef fix_alloc_from(FixPool& pool);
+
+struct FixEgress {
+  FASTCC_SHARD_LOCAL long long fix_queued_bytes_ = 0;
+
+  FASTCC_SHARD_LOCAL void fix_smuggle_handle(FixPool& pool) {
+    FixRef ref = fix_alloc_from(pool);
+    fix_deposit(ref, 7);  // expect-shardsafe: shard-local-escape
+  }
+
+  FASTCC_SHARD_LOCAL void fix_leak_pointer() {
+    fix_publish_cell(&fix_queued_bytes_);  // expect-shardsafe: shard-local-escape
+  }
+
+  FASTCC_SHARD_LOCAL void fix_leak_alias() {
+    long long* cell = &fix_queued_bytes_;
+    fix_publish_cell(cell);  // expect-shardsafe: shard-local-escape
+  }
+
+  FASTCC_SHARD_LOCAL void fix_leak_closure() {
+    fix_store_callback([this] { fix_queued_bytes_ = 0; });  // expect-shardsafe: shard-local-escape
+  }
+};

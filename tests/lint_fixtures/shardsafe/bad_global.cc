@@ -1,0 +1,20 @@
+// fastcc-shardsafe fixture: mutable statics reachable from worker-phase
+// code.  Firing cases for [worker-mutable-global] — a direct reference
+// from an annotated worker method, and the interprocedural case where an
+// unannotated helper inherits the worker phase from its caller.  (The
+// statics themselves also fire fastcc-lint's mutable-global check, hence
+// the expect-lint markers.)
+
+static long long g_fix_epoch_hits = 0;  // expect-lint: mutable-global
+
+FASTCC_SHARD_LOCAL void fix_worker_counts() {
+  g_fix_epoch_hits += 1;  // expect-shardsafe: worker-mutable-global
+}
+
+static long long g_fix_transitive = 0;  // expect-lint: mutable-global
+
+void fix_helper_touches() {
+  g_fix_transitive += 1;  // expect-shardsafe: worker-mutable-global
+}
+
+FASTCC_SHARD_LOCAL void fix_worker_via_touch() { fix_helper_touches(); }

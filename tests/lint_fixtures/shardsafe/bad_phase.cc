@@ -1,0 +1,33 @@
+// fastcc-shardsafe fixture: writes on the wrong side of the epoch barrier.
+// Firing cases for [epoch-phase-write] — worker-phase code writing
+// FASTCC_EPOCH_PUBLISH state, barrier completion-step code writing
+// FASTCC_SHARD_LOCAL state (the single-writer invariant the mailbox test
+// guards dynamically), a worker write to FASTCC_SHARD_SHARED_RO state, and
+// the interprocedural case: an unannotated helper that inherits the worker
+// phase from its only caller.
+
+struct FixLoopState {
+  FASTCC_EPOCH_PUBLISH long long fix_horizon = 0;
+  FASTCC_SHARD_LOCAL long long fix_backlog = 0;
+  FASTCC_SHARD_SHARED_RO int fix_fanout = 1;
+
+  FASTCC_SHARD_LOCAL void fix_worker_tick() {
+    fix_horizon += 4;  // expect-shardsafe: epoch-phase-write
+    fix_backlog += 1;
+  }
+
+  FASTCC_EPOCH_PUBLISH void fix_barrier_step() {
+    fix_backlog = 0;  // expect-shardsafe: epoch-phase-write
+    fix_horizon += 4;
+  }
+
+  FASTCC_SHARD_LOCAL void fix_worker_retunes() {
+    fix_fanout = 2;  // expect-shardsafe: epoch-phase-write
+  }
+
+  void fix_helper_bump() {
+    fix_horizon += 1;  // expect-shardsafe: epoch-phase-write
+  }
+
+  FASTCC_SHARD_LOCAL void fix_worker_via_helper() { fix_helper_bump(); }
+};

@@ -1,0 +1,26 @@
+// fastcc-shardsafe fixture: the channel protocol used as designed.  Clean
+// control for [xshard-channel-phase] — workers deposit, the barrier
+// completion step publishes, and mailbox reads happen only on the drained
+// (post-publish) side.
+//
+// clean-shardsafe: xshard-channel-phase
+
+class FASTCC_XSHARD_CHANNEL FixGoodBox {
+ public:
+  FASTCC_SHARD_LOCAL void fix_put_ok(int v) { fix_cell_ = v; }
+  FASTCC_EPOCH_PUBLISH void fix_publish_ok() { fix_out_ = fix_cell_; }
+
+ private:
+  FASTCC_SHARD_LOCAL int fix_cell_ = 0;
+  FASTCC_EPOCH_PUBLISH int fix_out_ = 0;
+};
+
+struct FixGoodRunner {
+  FASTCC_SHARD_LOCAL void fix_worker_feeds(FixGoodBox& box, int v) {
+    box.fix_put_ok(v);
+  }
+
+  FASTCC_EPOCH_PUBLISH void fix_barrier_flips(FixGoodBox& box) {
+    box.fix_publish_ok();
+  }
+};

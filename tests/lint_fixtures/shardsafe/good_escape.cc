@@ -1,0 +1,36 @@
+// fastcc-shardsafe fixture: the sanctioned cross-shard handoff.  Clean
+// control for [shard-local-escape] — the pool handle is serialized through
+// a FASTCC_CONSUMES_XSHARD call (the export_release idiom) before reaching
+// the sink, and purely shard-local work never approaches the boundary.
+//
+// clean-shardsafe: shard-local-escape
+
+class FASTCC_SHARD_LOCAL FixGoodPool {};
+
+struct FixGoodRef {
+  int idx = -1;
+};
+
+struct FixWire {
+  int payload = 0;
+};
+
+FASTCC_XSHARD_SINK void fix_good_deposit(FixWire bytes, long long arrival);
+FASTCC_PRODUCES FixGoodRef fix_good_alloc(FixGoodPool& pool);
+FixWire fix_good_export(FixGoodPool& pool, FASTCC_CONSUMES_XSHARD FixGoodRef ref);
+void fix_good_retire(FixGoodPool& pool, FASTCC_CONSUMES FixGoodRef ref);
+
+struct FixGoodEgress {
+  FASTCC_SHARD_LOCAL long long fix_good_queued_ = 0;
+
+  FASTCC_SHARD_LOCAL void fix_good_forward(FixGoodPool& pool) {
+    FixGoodRef ref = fix_good_alloc(pool);
+    fix_good_deposit(fix_good_export(pool, ref), 7);
+  }
+
+  FASTCC_SHARD_LOCAL void fix_good_local_only(FixGoodPool& pool) {
+    FixGoodRef ref = fix_good_alloc(pool);
+    fix_good_retire(pool, ref);
+    fix_good_queued_ += 1;
+  }
+};

@@ -1,0 +1,15 @@
+// fastcc-shardsafe fixture: statics that do NOT break shard isolation.
+// Clean control for [worker-mutable-global] — a constant (not mutable) and
+// a mutable static touched only from barrier completion-step code, which
+// runs single-threaded.  (The mutable static still fires fastcc-lint's
+// own check, hence the expect-lint marker.)
+//
+// clean-shardsafe: worker-mutable-global
+
+static const long long k_fix_table_rows = 8;
+
+static long long g_fix_barrier_tally = 0;  // expect-lint: mutable-global
+
+FASTCC_EPOCH_PUBLISH void fix_barrier_accounts() {
+  g_fix_barrier_tally += k_fix_table_rows;
+}

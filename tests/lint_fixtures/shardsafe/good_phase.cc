@@ -1,0 +1,25 @@
+// fastcc-shardsafe fixture: phase-correct epoch-loop state.  Clean control
+// for [epoch-phase-write] — workers write only shard-local state, the
+// barrier completion step writes only publish-side state, and the one
+// legitimate cross-phase drain carries a reasoned lint:allow (a bare allow
+// would not suppress; see bad_bare_allow.cc under the lint fixtures).
+//
+// clean-shardsafe: epoch-phase-write
+
+struct FixGoodLoop {
+  FASTCC_EPOCH_PUBLISH long long good_horizon = 0;
+  FASTCC_SHARD_LOCAL long long good_backlog = 0;
+
+  FASTCC_SHARD_LOCAL void good_worker_tick() {
+    good_backlog += 1;
+  }
+
+  FASTCC_EPOCH_PUBLISH void good_barrier_step() {
+    good_horizon += 4;
+  }
+
+  FASTCC_EPOCH_PUBLISH void good_barrier_drain() {
+    // lint:allow(epoch-phase-write -- completion step owns the drain while workers are parked)
+    good_backlog = 0;
+  }
+};
