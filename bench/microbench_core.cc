@@ -10,6 +10,7 @@
 #include "core/fluid_model.h"
 #include "experiments/datacenter.h"
 #include "experiments/incast.h"
+#include "experiments/protocols.h"
 #include "experiments/sharded.h"
 #include "net/packet.h"
 #include "net/packet_pool.h"
@@ -19,6 +20,7 @@
 #include "sim/simulator.h"
 #include "sim/timing_wheel.h"
 #include "stats/percentile.h"
+#include "topo/star.h"
 #include "workload/distributions.h"
 
 namespace {
@@ -349,6 +351,50 @@ void BM_Incast256(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_Incast256)->Unit(benchmark::kMillisecond);
+
+/// The batched-ACK hot path in isolation: one host sources 64 concurrent
+/// flows fanned out to 64 receivers over a star, so every returning ACK
+/// stream converges on the single sender-side link and arrives as dense
+/// multi-flow deliver_batch chains.  This is the worst case for the
+/// per-batch flow dedup and the one-CC/arbiter-pass-per-flow coalescing —
+/// the slab's ACK storm shape, where per-packet work must stay on hot
+/// lanes.  Items = simulator events.
+void BM_AckBatchDrain(benchmark::State& state) {
+  constexpr int kFlows = 64;
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::Simulator simulator;
+    net::Network network(simulator);
+    topo::StarParams params;
+    params.host_count = kFlows + 1;
+    topo::Star star = build_star(network, params);
+    net::Host* src = star.hosts.front();
+    exp::CcFactory factory(network, exp::Variant::kHpccVaiSf,
+                           /*small_topology=*/true);
+    int done = 0;
+    src->set_completion_callback([&done](const net::FlowTx&) { ++done; });
+    for (int i = 0; i < kFlows; ++i) {
+      net::Host* dst = star.hosts[1 + i];
+      const net::PathInfo& path = network.path(src->id(), dst->id());
+      net::FlowTx flow;
+      flow.spec.id = static_cast<net::FlowId>(i + 1);
+      flow.spec.src = src->id();
+      flow.spec.dst = dst->id();
+      flow.spec.size_bytes = 100'000;
+      flow.line_rate = src->port(0).bandwidth();
+      flow.base_rtt = path.base_rtt;
+      flow.path_hops = path.hops;
+      flow.cc = factory.make(path);
+      src->start_flow(std::move(flow));
+    }
+    simulator.run(50 * sim::kMillisecond);
+    assert(done == kFlows);
+    benchmark::DoNotOptimize(done);
+    events += simulator.events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_AckBatchDrain)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -113,6 +113,47 @@ class CompareBenchTest(unittest.TestCase):
         self.assertEqual(res.returncode, 0, res.stderr)
         self.assertNotIn("dispatch_stddev", res.stdout)
 
+    def test_perf_columns_on_one_side_warn_but_pass(self):
+        # A baseline recorded on a perf-capable host must still gate a fresh
+        # run from a CI VM without perf_event access: warn, never fail.
+        base_doc = bench_doc({"dispatch": 1e6})
+        base_doc["benchmarks"][0]["perf"] = {
+            "instructions": 1e9, "cycles": 2e9, "ipc": 0.5,
+            "llc_misses_per_kevent": 12.0, "branch_miss_rate": 0.001}
+        base = self.write_json("base.json", base_doc)
+        fresh = self.write_json("fresh.json", bench_doc({"dispatch": 1e6}))
+        res = self.run_compare(base, fresh)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("warning", res.stdout)
+        self.assertIn("counter columns not compared", res.stdout)
+        self.assertIn("PASS", res.stdout)
+
+    def test_perf_columns_on_both_sides_reported_not_gated(self):
+        # Counters on both sides are shown for attribution, but even a large
+        # IPC drop must not fail the gate — only events/sec gates.
+        def doc(ipc):
+            d = bench_doc({"dispatch": 1e6})
+            d["benchmarks"][0]["perf"] = {
+                "instructions": 1e9, "cycles": 1e9 / ipc, "ipc": ipc,
+                "llc_misses_per_kevent": 12.0, "branch_miss_rate": 0.001}
+            return d
+        base = self.write_json("base.json", doc(2.0))
+        fresh = self.write_json("fresh.json", doc(0.5))
+        res = self.run_compare(base, fresh)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertIn("perf", res.stdout)
+        self.assertIn("ipc 2 -> 0.5", res.stdout)
+        self.assertNotIn("warning", res.stdout)
+
+    def test_no_perf_columns_anywhere_stays_silent(self):
+        # The pre-harness schema (no "perf" keys at all) must not trigger
+        # the missing-counters warning.
+        base = self.write_json("base.json", bench_doc({"dispatch": 1e6}))
+        fresh = self.write_json("fresh.json", bench_doc({"dispatch": 1e6}))
+        res = self.run_compare(base, fresh)
+        self.assertEqual(res.returncode, 0, res.stderr)
+        self.assertNotIn("warning", res.stdout)
+
     def test_malformed_json_exits_2(self):
         base = self.write_json("base.json", bench_doc({"dispatch": 1e6}))
         fresh = self.write_json("fresh.json", "{not valid json")

@@ -24,14 +24,14 @@ class MiniCc final : public cc::CongestionControl {
   MiniCc(sim::Time target_delay, int sampling_freq)
       : target_(target_delay), sf_(sampling_freq) {}
 
-  void on_flow_start(net::FlowTx& flow) override {
+  void on_flow_start(net::FlowView flow) override {
     // Line-rate start, like the RDMA protocols in the paper.
     window_ = flow.line_rate * static_cast<double>(flow.base_rtt);
     max_window_ = window_;
     apply(flow);
   }
 
-  void on_ack(const cc::AckContext& ack, net::FlowTx& flow) override {
+  void on_ack(const cc::AckContext& ack, net::FlowView flow) override {
     const double mtu = flow.mtu;
     if (ack.rtt > target_) {
       // Decrease either on the Sampling-Frequency schedule (every s ACKs —
@@ -55,7 +55,7 @@ class MiniCc final : public cc::CongestionControl {
   const char* name() const override { return "mini-cc"; }
 
  private:
-  void apply(net::FlowTx& flow) {
+  void apply(net::FlowView flow) {
     flow.window_bytes = window_;
     flow.rate = window_ / static_cast<double>(flow.base_rtt);
   }

@@ -11,12 +11,9 @@
 #include <cstdint>
 #include <span>
 
+#include "net/flow_view.h"
 #include "net/packet.h"
 #include "sim/time.h"
-
-namespace fastcc::net {
-struct FlowTx;
-}  // namespace fastcc::net
 
 namespace fastcc::cc {
 
@@ -35,11 +32,13 @@ class CongestionControl {
  public:
   virtual ~CongestionControl() = default;
 
-  /// Initializes per-flow state (e.g. line-rate start window).
-  virtual void on_flow_start(net::FlowTx& flow) = 0;
+  /// Initializes per-flow state (e.g. line-rate start window).  The view's
+  /// references may point into a FlowSlab or a standalone FlowTx; either
+  /// way the controller only sees the hot fields and the path constants.
+  virtual void on_flow_start(net::FlowView flow) = 0;
 
   /// Reacts to one acknowledgement, mutating the flow's window/rate.
-  virtual void on_ack(const AckContext& ack, net::FlowTx& flow) = 0;
+  virtual void on_ack(const AckContext& ack, net::FlowView flow) = 0;
 
   virtual const char* name() const = 0;
 };

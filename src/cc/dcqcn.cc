@@ -6,7 +6,7 @@
 
 namespace fastcc::cc {
 
-void Dcqcn::on_flow_start(net::FlowTx& flow) {
+void Dcqcn::on_flow_start(net::FlowView flow) {
   // RDMA flows start at line rate; DCQCN is purely rate-based.
   rc_ = flow.line_rate;
   rt_ = flow.line_rate;
@@ -15,13 +15,13 @@ void Dcqcn::on_flow_start(net::FlowTx& flow) {
   apply(flow);
 }
 
-void Dcqcn::apply(net::FlowTx& flow) {
+void Dcqcn::apply(net::FlowView flow) {
   rc_ = std::clamp(rc_, p_.min_rate, flow.line_rate);
   rt_ = std::clamp(rt_, p_.min_rate, flow.line_rate);
   flow.rate = rc_;
 }
 
-void Dcqcn::cut_rate(sim::Time now, net::FlowTx& flow) {
+void Dcqcn::cut_rate(sim::Time now, net::FlowView flow) {
   alpha_ = std::min(1.0, (1.0 - p_.g) * alpha_ + p_.g);
   rt_ = rc_;
   rc_ = rc_ * (1.0 - alpha_ / 2.0);
@@ -36,7 +36,7 @@ void Dcqcn::cut_rate(sim::Time now, net::FlowTx& flow) {
   maybe_arm_increase(now, flow);
 }
 
-void Dcqcn::increase(net::FlowTx& flow) {
+void Dcqcn::increase(net::FlowView flow) {
   if (t_stage_ >= p_.fast_recovery_stages &&
       bc_stage_ >= p_.fast_recovery_stages) {
     rt_ += p_.rate_hai;  // hyper increase
@@ -61,7 +61,7 @@ void Dcqcn::maybe_arm_alpha(sim::Time now) {
   alpha_deadline_ = now + p_.alpha_update_interval;
 }
 
-void Dcqcn::maybe_arm_increase(sim::Time now, net::FlowTx& flow) {
+void Dcqcn::maybe_arm_increase(sim::Time now, net::FlowView flow) {
   if (increase_deadline_ >= 0) return;
   // At (numerically) line rate the recovery machinery is quiescent until the
   // next CNP; snap the asymptotic fast-recovery tail to exactly line rate.
@@ -73,7 +73,7 @@ void Dcqcn::maybe_arm_increase(sim::Time now, net::FlowTx& flow) {
   increase_deadline_ = now + p_.rate_increase_timer;
 }
 
-void Dcqcn::on_timer(sim::Time now, net::FlowTx& flow) {
+void Dcqcn::on_timer(sim::Time now, net::FlowView flow) {
   if (alpha_deadline_ >= 0 && alpha_deadline_ <= now) {
     alpha_deadline_ = -1;
     alpha_ = (1.0 - p_.g) * alpha_;
@@ -87,7 +87,7 @@ void Dcqcn::on_timer(sim::Time now, net::FlowTx& flow) {
   }
 }
 
-void Dcqcn::on_ack(const AckContext& ack, net::FlowTx& flow) {
+void Dcqcn::on_ack(const AckContext& ack, net::FlowView flow) {
   if (ack.cnp) {
     cut_rate(ack.now, flow);
     return;

@@ -39,8 +39,8 @@ class Dcqcn {
  public:
   explicit Dcqcn(const DcqcnParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow);
-  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  void on_flow_start(net::FlowView flow);
+  void on_ack(const AckContext& ack, net::FlowView flow);
   const char* name() const { return "dcqcn"; }
 
   /// Earliest pending deadline (alpha decay or rate recovery), or kNoTimer
@@ -54,18 +54,18 @@ class Dcqcn {
   /// Fires every deadline at or before `now` (alpha decay first — the order
   /// the old per-timer events interleaved; the two updates touch disjoint
   /// state, so the order is fixed purely for reproducibility).
-  void on_timer(sim::Time now, net::FlowTx& flow);
+  void on_timer(sim::Time now, net::FlowView flow);
 
   double alpha() const { return alpha_; }
   sim::Rate current_rate() const { return rc_; }
   sim::Rate target_rate() const { return rt_; }
 
  private:
-  void cut_rate(sim::Time now, net::FlowTx& flow);
-  void increase(net::FlowTx& flow);
+  void cut_rate(sim::Time now, net::FlowView flow);
+  void increase(net::FlowView flow);
   void maybe_arm_alpha(sim::Time now);
-  void maybe_arm_increase(sim::Time now, net::FlowTx& flow);
-  void apply(net::FlowTx& flow);
+  void maybe_arm_increase(sim::Time now, net::FlowView flow);
+  void apply(net::FlowView flow);
 
   DcqcnParams p_;
 

@@ -6,7 +6,7 @@
 
 namespace fastcc::cc {
 
-void Dctcp::on_flow_start(net::FlowTx& flow) {
+void Dctcp::on_flow_start(net::FlowView flow) {
   max_cwnd_ = flow.line_rate * static_cast<double>(flow.base_rtt) /
               static_cast<double>(flow.mtu);
   cwnd_ = max_cwnd_;  // line-rate start, consistent with the RDMA peers
@@ -14,13 +14,13 @@ void Dctcp::on_flow_start(net::FlowTx& flow) {
   apply(flow);
 }
 
-void Dctcp::apply(net::FlowTx& flow) {
+void Dctcp::apply(net::FlowView flow) {
   cwnd_ = std::clamp(cwnd_, p_.min_cwnd_packets, max_cwnd_);
   flow.window_bytes = cwnd_ * flow.mtu;
   flow.rate = flow.line_rate;  // ack-clocked; the window does the limiting
 }
 
-void Dctcp::on_ack(const AckContext& ack, net::FlowTx& flow) {
+void Dctcp::on_ack(const AckContext& ack, net::FlowView flow) {
   if (window_end_seq_ == 0) {
     // First ACK establishes the observation-window horizon (like HPCC's
     // first-telemetry snapshot); no reaction yet.

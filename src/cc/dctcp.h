@@ -27,15 +27,15 @@ class Dctcp {
  public:
   explicit Dctcp(const DctcpParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow);
-  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  void on_flow_start(net::FlowView flow);
+  void on_ack(const AckContext& ack, net::FlowView flow);
   const char* name() const { return "dctcp"; }
 
   double alpha() const { return alpha_; }
   double cwnd_packets() const { return cwnd_; }
 
  private:
-  void apply(net::FlowTx& flow);
+  void apply(net::FlowView flow);
 
   DctcpParams p_;
   double cwnd_ = 0.0;        ///< Packets.

@@ -66,7 +66,7 @@ class CcEngine {
     return true;
   }
 
-  void on_flow_start(net::FlowTx& flow) {
+  void on_flow_start(net::FlowView flow) {
     switch (impl_.index()) {
       case kHpcc: std::get_if<Hpcc>(&impl_)->on_flow_start(flow); break;
       case kSwift: std::get_if<Swift>(&impl_)->on_flow_start(flow); break;
@@ -80,7 +80,7 @@ class CcEngine {
 
   /// The per-ACK hot path: direct dispatch, no indirect call for the sealed
   /// protocols.
-  void on_ack(const AckContext& ack, net::FlowTx& flow) {
+  void on_ack(const AckContext& ack, net::FlowView flow) {
     switch (impl_.index()) {
       case kHpcc: std::get_if<Hpcc>(&impl_)->on_ack(ack, flow); break;
       case kSwift: std::get_if<Swift>(&impl_)->on_ack(ack, flow); break;
@@ -112,7 +112,7 @@ class CcEngine {
     return -1;
   }
 
-  void on_timer(sim::Time now, net::FlowTx& flow) {
+  void on_timer(sim::Time now, net::FlowView flow) {
     if (auto* d = std::get_if<Dcqcn>(&impl_)) d->on_timer(now, flow);
   }
 

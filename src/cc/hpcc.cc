@@ -19,7 +19,7 @@ core::VariableAiParams hpcc_paper_vai(double min_bdp_bytes) {
   return vai;
 }
 
-void Hpcc::on_flow_start(net::FlowTx& flow) {
+void Hpcc::on_flow_start(net::FlowView flow) {
   // RDMA flows start at line rate: W = line-rate BDP (Sec. IV observation 1).
   max_window_ = flow.line_rate * static_cast<double>(flow.base_rtt);
   wc_ = max_window_;
@@ -30,7 +30,7 @@ void Hpcc::on_flow_start(net::FlowTx& flow) {
   vai_boundary_seq_ = 0;
 }
 
-double Hpcc::measure_inflight(const AckContext& ack, const net::FlowTx& flow) {
+double Hpcc::measure_inflight(const AckContext& ack, const net::FlowView& flow) {
   const int hops = static_cast<int>(ack.ints.size());
   if (hops == 0) return -1.0;
   if (prev_hop_count_ != hops) {
@@ -66,7 +66,7 @@ double Hpcc::measure_inflight(const AckContext& ack, const net::FlowTx& flow) {
   return u_;
 }
 
-void Hpcc::maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow) {
+void Hpcc::maybe_rtt_boundary(const AckContext& ack, const net::FlowView& flow) {
   rtt_max_u_ = std::max(rtt_max_u_, u_);
   if (vai_.enabled()) {
     // Measured congestion for HPCC's VAI is the max per-hop queue depth.
@@ -86,7 +86,7 @@ void Hpcc::maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow) {
 }
 
 double Hpcc::compute_window(double u, bool update_reference,
-                            net::FlowTx& flow) {
+                            net::FlowView flow) {
   const double w_ai =
       w_ai_base_ * vai_.ai_multiplier(/*spend=*/update_reference);
   double w;
@@ -109,7 +109,7 @@ double Hpcc::compute_window(double u, bool update_reference,
   return std::clamp(w, min_w, max_window_);
 }
 
-void Hpcc::on_ack(const AckContext& ack, net::FlowTx& flow) {
+void Hpcc::on_ack(const AckContext& ack, net::FlowView flow) {
   const double u = measure_inflight(ack, flow);
   maybe_rtt_boundary(ack, flow);
   if (u < 0.0) return;  // no measurement yet

@@ -49,8 +49,8 @@ class Hpcc {
   Hpcc(const HpccParams& params, sim::Rng* rng = nullptr)
       : p_(params), vai_(params.vai), sf_(params.sampling_freq), rng_(rng) {}
 
-  void on_flow_start(net::FlowTx& flow);
-  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  void on_flow_start(net::FlowView flow);
+  void on_ack(const AckContext& ack, net::FlowView flow);
   const char* name() const { return "hpcc"; }
 
   // Introspection for tests.
@@ -62,12 +62,12 @@ class Hpcc {
  private:
   /// HPCC's MeasureInflight: returns the EWMA-updated U, or a negative value
   /// until a previous INT snapshot exists to difference against.
-  double measure_inflight(const AckContext& ack, const net::FlowTx& flow);
+  double measure_inflight(const AckContext& ack, const net::FlowView& flow);
 
   /// HPCC's ComputeWind.
-  double compute_window(double u, bool update_reference, net::FlowTx& flow);
+  double compute_window(double u, bool update_reference, net::FlowView flow);
 
-  void maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow);
+  void maybe_rtt_boundary(const AckContext& ack, const net::FlowView& flow);
 
   HpccParams p_;
   core::VariableAi vai_;

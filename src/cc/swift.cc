@@ -24,7 +24,7 @@ core::VariableAiParams swift_paper_vai(sim::Time target_delay,
   return vai;
 }
 
-void Swift::on_flow_start(net::FlowTx& flow) {
+void Swift::on_flow_start(net::FlowView flow) {
   max_cwnd_ = flow.line_rate * static_cast<double>(flow.base_rtt) /
               static_cast<double>(flow.mtu);
   // The paper starts Swift flows at line rate to match RDMA peers.
@@ -63,7 +63,7 @@ double Swift::mdf_factor(sim::Time delay, sim::Time target) const {
   return std::max(1.0 - p_.beta * severity, p_.max_mdf);
 }
 
-void Swift::apply(net::FlowTx& flow) {
+void Swift::apply(net::FlowView flow) {
   cwnd_ = std::clamp(cwnd_, p_.min_cwnd, max_cwnd_);
   flow.window_bytes =
       std::max(cwnd_ * flow.mtu, net::FlowTx::kMinWindowBytes);
@@ -78,7 +78,7 @@ void Swift::apply(net::FlowTx& flow) {
   }
 }
 
-void Swift::maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow,
+void Swift::maybe_rtt_boundary(const AckContext& ack, const net::FlowView& flow,
                                sim::Time target) {
   if (vai_.enabled()) {
     const sim::Time qdelay = std::max<sim::Time>(ack.rtt - flow.base_rtt, 0);
@@ -101,7 +101,7 @@ double Swift::hyper_ai_factor() const {
   return in_hyper_ai() ? p_.hai_multiplier : 1.0;
 }
 
-void Swift::on_ack(const AckContext& ack, net::FlowTx& flow) {
+void Swift::on_ack(const AckContext& ack, net::FlowView flow) {
   constexpr double kRttEwma = 0.2;
   rtt_ewma_ = static_cast<sim::Time>((1.0 - kRttEwma) *
                                          static_cast<double>(rtt_ewma_) +

@@ -73,8 +73,8 @@ class Swift {
   Swift(const SwiftParams& params, sim::Rng* rng = nullptr)
       : p_(params), vai_(params.vai), sf_(params.sampling_freq), rng_(rng) {}
 
-  void on_flow_start(net::FlowTx& flow);
-  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  void on_flow_start(net::FlowView flow);
+  void on_ack(const AckContext& ack, net::FlowView flow);
   const char* name() const { return "swift"; }
 
   /// Target delay for a given congestion window and number of *switch* hops
@@ -95,8 +95,8 @@ class Swift {
  private:
   double mdf_factor(sim::Time delay, sim::Time target) const;
   double hyper_ai_factor() const;
-  void apply(net::FlowTx& flow);
-  void maybe_rtt_boundary(const AckContext& ack, const net::FlowTx& flow,
+  void apply(net::FlowView flow);
+  void maybe_rtt_boundary(const AckContext& ack, const net::FlowView& flow,
                           sim::Time target);
 
   SwiftParams p_;

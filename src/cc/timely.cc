@@ -6,7 +6,7 @@
 
 namespace fastcc::cc {
 
-void Timely::on_flow_start(net::FlowTx& flow) {
+void Timely::on_flow_start(net::FlowView flow) {
   rate_ = flow.line_rate;  // RDMA line-rate start, like the other protocols
   min_rtt_ = static_cast<double>(flow.base_rtt);
   if (p_.t_low == 0) p_.t_low = flow.base_rtt + 2 * sim::kMicrosecond;
@@ -15,7 +15,7 @@ void Timely::on_flow_start(net::FlowTx& flow) {
   flow.rate = rate_;
 }
 
-void Timely::on_ack(const AckContext& ack, net::FlowTx& flow) {
+void Timely::on_ack(const AckContext& ack, net::FlowView flow) {
   // RTT-gradient estimation.
   if (prev_rtt_ < 0) {
     prev_rtt_ = ack.rtt;

@@ -37,8 +37,8 @@ class Timely {
  public:
   explicit Timely(const TimelyParams& params) : p_(params) {}
 
-  void on_flow_start(net::FlowTx& flow);
-  void on_ack(const AckContext& ack, net::FlowTx& flow);
+  void on_flow_start(net::FlowView flow);
+  void on_ack(const AckContext& ack, net::FlowView flow);
   const char* name() const { return "timely"; }
 
   double normalized_gradient() const { return rtt_diff_ / min_rtt_; }

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "cc/engine.h"
+#include "net/flow_view.h"
 #include "net/packet.h"
 #include "sim/time.h"
 #include "sim/timing_wheel.h"
@@ -20,11 +21,22 @@ struct FlowSpec {
   sim::Time start_time = 0;
 };
 
-/// Sender-side transmission state for one flow.  Congestion control mutates
+/// Sender-side state record for one flow.  Congestion control mutates
 /// `window_bytes` and `rate`; the host NIC enforces both (a packet is
 /// released only when in-flight bytes fit the window *and* the pacing clock
 /// allows it).  The controller itself lives inline (cc::CcEngine), so the
 /// whole per-flow sender state is one contiguous, heap-free block.
+///
+/// Slab residency (DESIGN.md §11): inside a Host, this record is the *cold*
+/// half of the flow.  At start_flow the hot fields (snd_nxt, cum_acked,
+/// window_bytes, rate, next_tx_time, pacing_queued, rate_contribution, the
+/// progress counters) are copied into the host's FlowSlab struct-of-arrays
+/// and `hot_idx` points at the slab slot; the members here then hold the
+/// *install-time* values until the flow finishes (or Host::flow() is
+/// queried), at which point the slab writes the final values back and the
+/// record becomes the self-contained archive the completion callback and
+/// post-run queries read.  Standalone records (unit tests driving a
+/// controller directly) never enter a slab and behave exactly as before.
 struct FlowTx {
   FlowSpec spec;
 
@@ -53,6 +65,11 @@ struct FlowTx {
   std::uint64_t bytes_retransmitted = 0;
   std::uint32_t retransmit_events = 0;
   std::uint32_t dup_acks = 0;
+  /// cum_acked value the dup_acks count was taken against.  Lets the dup
+  /// counter reset lazily on the (rare) duplicate path instead of writing a
+  /// cold field on every in-order ACK: any progress changes cum_acked, so a
+  /// mismatch here means "first dup of a new stall".
+  std::uint64_t dup_base = 0;
   sim::Time rto = 0;               ///< 0 = derive as 3 x base_rtt at start.
   sim::Time last_progress_time = 0;
   sim::Time last_retransmit_time = -1;
@@ -79,6 +96,11 @@ struct FlowTx {
 
   cc::CcEngine cc;
 
+  /// Slab slot while the flow is in flight inside a Host; kInvalidFlowIdx
+  /// for standalone records and once the flow has finished (the slot is
+  /// swap-compacted away and the final values live here again).
+  FlowIdx hot_idx = kInvalidFlowIdx;
+
   std::uint64_t inflight_bytes() const { return snd_nxt - cum_acked; }
   bool all_sent() const { return snd_nxt >= spec.size_bytes; }
 
@@ -89,5 +111,11 @@ struct FlowTx {
   static constexpr double kUnlimitedWindow =
       std::numeric_limits<double>::max() / 4;
 };
+
+/// View over a standalone record's own members (declared in flow_view.h;
+/// defined here where FlowTx is complete).
+inline FlowView::FlowView(FlowTx& f)
+    : FlowView(f.snd_nxt, f.cum_acked, f.window_bytes, f.rate, f.next_tx_time,
+               f.line_rate, f.base_rtt, f.mtu, f.path_hops) {}
 
 }  // namespace fastcc::net

@@ -12,6 +12,14 @@
 // (earliest next_tx_time first, FlowId tie-break), and RTO / CC-recovery
 // deadlines are wheel entries.  The simulator sees at most one pending
 // event per host.
+//
+// Data layout (DESIGN.md §11): the per-ACK hot half of every unfinished
+// flow lives in a struct-of-arrays FlowSlab; the insertion-ordered flow
+// table keeps only the cold remainder (FlowSpec, loss recovery, timers, the
+// CC engine) plus the archive of finished flows.  Hosts coalesce chained
+// deliver_batch() arrivals: all ACKs of one wire burst fold into a single
+// per-flow CC/arbiter update pass (one window/pacing/heap fix-up per flow
+// per batch instead of per ACK).
 #pragma once
 
 #include <cstdint>
@@ -19,6 +27,7 @@
 #include <vector>
 
 #include "net/flow.h"
+#include "net/flow_slab.h"
 #include "net/node.h"
 #include "util/contracts.h"
 #include "util/ordered_map.h"
@@ -51,17 +60,33 @@ class Host : public Node {
   /// PFC-bounded queueing delay, so lossless runs never time out spuriously.
   void set_min_rto(sim::Time t) { min_rto_ = t; }
 
+  /// Read access to a flow's state record.  For a still-running flow the
+  /// slab's current hot values are written back into the record first, so
+  /// mid-run queries (progress sampling) observe live state.
   const FlowTx* flow(FlowId id) const;
+  /// Mutable variant (tests).  The same write-back applies; mutating *hot*
+  /// fields of an unfinished flow through the record is not supported — the
+  /// slab copy is authoritative until the flow finishes.
   FlowTx* mutable_flow(FlowId id);
   std::size_t active_flow_count() const { return active_flows_; }
 
   /// Sum of current pacing rates of unfinished flows (fairness sampling).
-  /// O(1): maintained incrementally via FlowTx::rate_contribution.
+  /// O(1): maintained incrementally via the slab's rate_contribution lane.
   sim::Rate total_send_rate() const { return rate_sum_; }
 
   /// The O(n) reference sum, retained for the equivalence test that pins the
   /// incremental bookkeeping to the definition.
   sim::Rate total_send_rate_recomputed() const;
+
+  /// Hosts terminate flows, so they accept burst-coalesced deliveries (see
+  /// Node::coalesces_deliveries).
+  bool coalesces_deliveries() const override { return true; }
+
+  /// Batched arrival: one pass over the chain applies every ACK's hot-state
+  /// update, then each touched flow gets exactly one completion / pacing /
+  /// arbiter follow-up.
+  FASTCC_SHARD_LOCAL void deliver_batch(FASTCC_CONSUMES PacketRef first,
+                                        int in_port) override;
 
  protected:
   FASTCC_SHARD_LOCAL void receive(FASTCC_CONSUMES PacketRef ref,
@@ -69,24 +94,40 @@ class Host : public Node {
 
  private:
   void handle_data(const Packet& p);
-  void handle_ack(const Packet& p);
-  void try_send(FlowTx& f);
-  /// Queues `f` with the NIC arbiter for service at f.next_tx_time.
-  void arm_pacing(FlowTx& f);
+  /// Per-ACK hot-state update (progress, AckContext, CC callout).  Returns
+  /// the flow's cold record when it needs an ack_finalize() follow-up, null
+  /// when the ACK was absorbed (unknown/finished flow, duplicate).
+  FlowTx* ack_apply(const Packet& p);
+  /// Once per touched flow per delivery: completion check, rate-sum and CC
+  /// timer sync, and the (single) send/arbiter follow-up.
+  void ack_finalize(FlowTx& f);
+  /// Duplicate-cumulative-ACK path: dup counting against the slab's current
+  /// cum_acked and (rate-limited) go-back-N fast retransmit.
+  void on_dup_ack(FlowTx& f, FlowIdx i);
+  /// Completion: final hot values written back to the cold record, timers
+  /// cancelled, the slab slot swap-compacted away.
+  void finish_flow(FlowTx& f, FlowIdx i);
+  void try_send(FlowIdx i);
+  /// Queues slab slot `i` with the NIC arbiter for service at its
+  /// next_tx_time.
+  void arm_pacing(FlowIdx i);
   /// Ensures the arbiter's wheel timer covers a wakeup at `at`.
   void arm_nic_timer(sim::Time at);
   /// NIC arbiter wakeup: serves every due pacing-blocked flow in
   /// (next_tx_time, FlowId) order, then re-arms for the next one.
   void nic_tick();
+  /// Revalidates a (FlowId, FlowIdx-hint) pair against the slab; falls back
+  /// to the flow table when compaction moved or removed the slot.
+  FlowIdx resolve_idx(FlowId fid, FlowIdx hint) const;
   void arm_rto_timer(FlowTx& f);
   /// Mirrors the controller's internal deadline (if any) onto the wheel.
   void sync_cc_timer(FlowTx& f);
   void cc_tick(FlowId fid);
-  /// Re-derives f.rate_contribution after any controller callout and folds
-  /// the delta into rate_sum_.
-  void sync_rate_contribution(FlowTx& f);
+  /// Re-derives slot `i`'s rate contribution after any controller callout
+  /// and folds the delta into rate_sum_.
+  void sync_rate_contribution(FlowIdx i);
   /// Go-back-N: rewinds snd_nxt to the cumulative ACK point.
-  void retransmit_from_cum_ack(FlowTx& f);
+  void retransmit_from_cum_ack(FlowTx& f, FlowIdx i);
 
   struct RxState {
     std::uint64_t bytes_received = 0;  ///< Raw arrivals (incl. duplicates).
@@ -96,11 +137,14 @@ class Host : public Node {
 
   /// NIC arbiter ready-queue entry.  Entries are scheduling *hints*: a
   /// flow's next_tx_time may move later after its entry was pushed (the
-  /// entry then wakes the arbiter early and the flow simply re-queues), and
-  /// a finished flow's entry is skipped on pop via the pacing_queued flag.
+  /// entry then wakes the arbiter early and the flow simply re-queues), a
+  /// finished flow's entry dies on pop, and `idx` is only a cache of the
+  /// slab slot at push time — compaction may have moved the flow since, so
+  /// pops revalidate through resolve_idx().
   struct PacingEntry {
     sim::Time at = 0;
     FlowId id = 0;
+    FlowIdx idx = kInvalidFlowIdx;
     /// std::push/pop_heap build a max-heap; invert to serve the earliest
     /// (next_tx_time, FlowId) first — the deterministic tie-break.
     bool operator<(const PacingEntry& o) const {
@@ -109,8 +153,11 @@ class Host : public Node {
     }
   };
 
-  // Insertion-ordered so that aggregate walks (the equivalence recompute's
-  // double accumulation) visit flows in start order, not hash order.
+  /// Hot per-flow state of unfinished flows (struct-of-arrays).
+  FASTCC_SHARD_LOCAL FlowSlab slab_;
+  // Cold records + finished-flow archive.  Insertion-ordered so that
+  // aggregate walks (the equivalence recompute's double accumulation) visit
+  // flows in start order, not hash order.
   FASTCC_SHARD_LOCAL util::InsertionOrderedMap<FlowId, FlowTx> tx_flows_;
   FASTCC_SHARD_LOCAL util::InsertionOrderedMap<FlowId, RxState> rx_flows_;
   std::size_t active_flows_ = 0;

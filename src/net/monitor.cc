@@ -47,13 +47,17 @@ void UtilizationMonitor::arm_next() {
 }
 
 void UtilizationMonitor::start() {
-  last_tx_bytes_ = port_.tx_bytes_total();
+  last_tx_bytes_ = static_cast<double>(port_.tx_bytes_total()) -
+                   port_.unserialized_tx_bytes(sim_.now());
   arm_next();
 }
 
 void UtilizationMonitor::sample() {
-  const std::uint64_t tx = port_.tx_bytes_total();
-  const double sent = static_cast<double>(tx - last_tx_bytes_);
+  // The bulk drain books a burst's tx counter at its commit event; subtract
+  // the still-serializing remainder so per-window readings stay <= capacity.
+  const double tx = static_cast<double>(port_.tx_bytes_total()) -
+                    port_.unserialized_tx_bytes(sim_.now());
+  const double sent = tx - last_tx_bytes_;
   last_tx_bytes_ = tx;
   const double capacity =
       port_.bandwidth() * static_cast<double>(interval_);

@@ -72,7 +72,9 @@ class UtilizationMonitor {
   stats::TimeSeries series_;
   std::function<bool()> keep_running_;
   sim::WheelScheduler* wheel_ = nullptr;
-  std::uint64_t last_tx_bytes_ = 0;
+  /// Serialized-by-last-sample bytes (tx counter minus the in-flight burst
+  /// remainder) — fractional because the remainder is analytic.
+  double last_tx_bytes_ = 0.0;
 };
 
 }  // namespace fastcc::net

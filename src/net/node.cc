@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/shard.h"
+#include "net/switch_node.h"
 
 namespace fastcc::net {
 
@@ -50,7 +51,26 @@ FASTCC_SHARD_LOCAL void Node::deliver(FASTCC_CONSUMES PacketRef ref,
   }
   p.ingress_port = in_port;
   pfc_account(in_port, static_cast<std::int64_t>(p.wire_bytes));
-  receive(ref, in_port);
+  if (is_switch_) {
+    static_cast<SwitchNode*>(this)->forward(ref, in_port);
+  } else {
+    receive(ref, in_port);
+  }
+}
+
+FASTCC_SHARD_LOCAL void Node::deliver_batch(FASTCC_CONSUMES PacketRef first,
+                                            int in_port) {
+  while (first.valid()) {
+    // Read the link *before* deliver(): the callee may forward or release
+    // the packet, recycling the slot (and with it batch_next).
+    Packet& p = pool_->get(first);
+    const PacketRef next{p.batch_next};
+    p.batch_next = PacketRef::kInvalid;
+    // The chain's next packet is known now; fetch it under this delivery.
+    if (next.valid()) pool_->prefetch(next);
+    deliver(first, in_port);
+    first = next;
+  }  // lint:allow(path-leak -- chain cursor: every link was transferred to deliver; the tail link is kInvalid)
 }
 
 FASTCC_SHARD_LOCAL void Node::on_packet_departed(const Packet& p) {
@@ -74,9 +94,11 @@ void Node::pfc_account(int in_port, std::int64_t delta_bytes) {
       static_cast<std::int64_t>(bytes) + delta_bytes);
   if (!ingress_paused_[in_port] && bytes > pfc_.pause_bytes) {
     ingress_paused_[in_port] = true;
+    ++paused_ingress_count_;
     send_pfc(in_port, /*pause=*/true);
   } else if (ingress_paused_[in_port] && bytes <= pfc_.resume_bytes) {
     ingress_paused_[in_port] = false;
+    --paused_ingress_count_;
     send_pfc(in_port, /*pause=*/false);
   }
 }

@@ -66,6 +66,30 @@ class Node {
   /// phase: runs only on the thread currently advancing this node's shard.
   FASTCC_SHARD_LOCAL void deliver(FASTCC_CONSUMES PacketRef ref, int in_port);
 
+  /// Batched arrival: `first` heads an intra-burst chain linked through
+  /// Packet::batch_next, all transmitted back-to-back on the same link and
+  /// delivered in one event at the *last* packet's arrival instant (NIC
+  /// interrupt coalescing: causal, never early).  The base implementation
+  /// simply walks the chain through deliver(); Host overrides it to
+  /// coalesce the chain's ACKs into a single per-flow CC / arbiter pass.
+  FASTCC_SHARD_LOCAL virtual void deliver_batch(FASTCC_CONSUMES PacketRef first,
+                                                int in_port);
+
+  /// True when this node wants chained deliver_batch() arrivals.  Ports
+  /// consult the *peer* node: switches keep exact per-packet arrival events
+  /// (store-and-forward timing must stay per-packet so forwarding decisions
+  /// see each arrival; egress priority is still re-evaluated at every burst
+  /// boundary — see Port's bulk drain), hosts opt in — they terminate
+  /// flows, so quantizing intra-burst arrival times to the burst end only
+  /// perturbs RTT samples by sub-burst noise.
+  virtual bool coalesces_deliveries() const { return false; }
+
+  /// True while any ingress port of this node has a PFC pause outstanding
+  /// upstream.  The bulk drain stops burst formation after one packet in
+  /// that state so resume timing (driven by departure accounting) stays
+  /// exactly per-packet while PFC is actively throttling an upstream.
+  bool any_ingress_paused() const { return paused_ingress_count_ > 0; }
+
   /// Called by a Port when a packet starts serialization (or dies in a tail
   /// drop) and thus leaves the node's buffer: releases the PFC ingress
   /// accounting.
@@ -84,15 +108,24 @@ class Node {
   FASTCC_SHARD_LOCAL virtual void receive(FASTCC_CONSUMES PacketRef ref,
                                           int in_port) = 0;
 
+  /// Set once by SwitchNode's constructor: deliver() dispatches forwarding
+  /// statically (a predictable branch) instead of through the vtable — the
+  /// majority of deliveries in a multi-hop fabric land on switches, and the
+  /// indirect call's target otherwise alternates per event.
+  void mark_as_switch() { is_switch_ = true; }
+
   /// Consumes a packet at this node (hosts): releases PFC accounting.
   void consume(const Packet& p);
+
+  /// Ingress PFC accounting (exposed to Host's deliver_batch override,
+  /// which replays deliver()'s accounting per chained packet).
+  void pfc_account(int in_port, std::int64_t delta_bytes);
 
   sim::Simulator* sim_;  ///< Never null; a pointer only so rebind_shard works.
 
  private:
   FASTCC_SHARD_LOCAL sim::WheelScheduler wheel_{*sim_};
 
-  void pfc_account(int in_port, std::int64_t delta_bytes);
   void send_pfc(int in_port, bool pause);
 
   NodeId id_;
@@ -100,9 +133,11 @@ class Node {
   FASTCC_SHARD_LOCAL std::vector<std::unique_ptr<Port>> ports_;
   FASTCC_SHARD_LOCAL PacketPool* pool_ = nullptr;
 
+  bool is_switch_ = false;
   PfcParams pfc_;
   FASTCC_SHARD_LOCAL std::vector<std::uint64_t> ingress_bytes_;
   FASTCC_SHARD_LOCAL std::vector<bool> ingress_paused_;  // pause sent upstream
+  FASTCC_SHARD_LOCAL int paused_ingress_count_ = 0;      // popcount of above
 };
 
 }  // namespace fastcc::net

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/time.h"
@@ -46,18 +47,38 @@ struct IntRecord {
 };
 
 struct Packet {
+  // Field order is a deliberate data layout (DESIGN.md §11): every field a
+  // switch hop touches — type, addressing, sizes, PFC/ingress bookkeeping,
+  // the batch chain link, and the INT cursor — packs into the first 64 bytes,
+  // ahead of the 256-byte INT stack.  With per-hop fields trailing the array
+  // instead, each hop of each packet dragged a second cache line through the
+  // core for a one-byte cursor bump and a 4-byte ingress-port store.
   PacketType type = PacketType::kData;
+  std::uint8_t int_count = 0;  ///< Populated prefix of `ints`.
+  bool ecn = false;       ///< Congestion-experienced mark (set by RED).
+  bool cnp = false;       ///< DCQCN congestion-notification flag on ACKs.
   FlowId flow = 0;
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-
-  /// First payload byte offset for data; cumulative-ack offset for ACKs.
-  std::uint64_t seq = 0;
   std::uint32_t payload_bytes = 0;
   std::uint32_t wire_bytes = 0;
 
-  bool ecn = false;       ///< Congestion-experienced mark (set by RED).
-  bool cnp = false;       ///< DCQCN congestion-notification flag on ACKs.
+  /// PFC pause/resume: the port on the *receiving* node whose transmitter
+  /// must pause (single priority class).
+  std::int32_t pfc_port = -1;
+
+  /// Ingress port at the node currently holding the packet (PFC accounting).
+  std::int32_t ingress_port = -1;
+
+  /// Intra-burst delivery chain: the PacketRef bits of the next packet in
+  /// the same bulk-drain burst (Port chains back-to-back transmissions to a
+  /// coalescing peer into one deliver_batch event).  0xffffffff (an invalid
+  /// PacketRef) terminates the chain; the field lives here rather than in a
+  /// side vector so batching allocates nothing in steady state.
+  std::uint32_t batch_next = 0xffffffffu;
+
+  /// First payload byte offset for data; cumulative-ack offset for ACKs.
+  std::uint64_t seq = 0;
 
   sim::Time host_ts = 0;  ///< Sender timestamp; echoed on the ACK.
   sim::Time ack_ts = 0;   ///< Receiver timestamp when the ACK was generated
@@ -66,14 +87,8 @@ struct Packet {
 
   /// INT stack (data: accumulated per hop; ACK: echoed copy).
   std::array<IntRecord, kMaxHops> ints{};
-  std::uint8_t int_count = 0;
 
-  /// PFC pause/resume: priority class (unused, single class) and the port on
-  /// the *receiving* node whose transmitter must pause.
-  std::int32_t pfc_port = -1;
-
-  /// Ingress port at the node currently holding the packet (PFC accounting).
-  std::int32_t ingress_port = -1;
+  static_assert(sizeof(IntRecord) == 32, "IntRecord layout drifted");
 
   void push_int(const IntRecord& rec) {
     if (int_count < kMaxHops) ints[int_count++] = rec;
@@ -99,8 +114,13 @@ struct Packet {
     int_count = 0;
     pfc_port = -1;
     ingress_port = -1;
+    batch_next = 0xffffffffu;
   }
 };
+
+static_assert(offsetof(Packet, ints) == 64,
+              "per-hop header must fill exactly one cache line ahead of the "
+              "INT stack (see the field-order comment)");
 
 /// Fills a freshly reset pool packet in place as a data packet for `flow`
 /// covering [seq, seq+payload).  Zero-copy counterpart of make_data.

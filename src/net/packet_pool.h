@@ -148,6 +148,16 @@ class FASTCC_SHARD_LOCAL PacketPool {
     return ref;
   }
 
+  /// Hints a handle's packet header line into cache without resolving it —
+  /// no generation check, no field access, safe on any handle.  The transmit
+  /// and delivery loops issue it one packet ahead so the ~320-byte Packet is
+  /// in flight while the current one is processed.
+  void prefetch(PacketRef ref) const {
+    const std::uint32_t slot = ref.slot();
+    if (!ref.valid() || slot >= capacity_) return;
+    __builtin_prefetch(&chunks_[slot >> kChunkShift][slot & (kChunkSize - 1)]);
+  }
+
   /// Packets currently allocated (leak check: a drained simulation must end
   /// at zero).
   std::uint32_t live_count() const { return live_; }

@@ -7,6 +7,31 @@
 #include "net/shard.h"
 
 namespace fastcc::net {
+namespace {
+
+/// Burst chain bound for one coalescing peer: appended handles ride in
+/// Packet::batch_next — ownership moves *into the chain* here, and the head
+/// handle is handed to the single deliver/deliver_batch closure at commit.
+struct BurstChain {
+  PacketRef head;
+  Packet* tail = nullptr;
+  sim::Time arrival = 0;
+  int count = 0;
+
+  void chain_take(FASTCC_CONSUMES PacketRef ref, Packet& p, sim::Time at) {
+    if (count == 0) {
+      head = ref;
+    } else {
+      tail->batch_next = ref.bits;
+    }
+    tail = &p;
+    arrival = at;
+    // lint:allow(path-leak -- ownership moved into the chain: the handle stays reachable via head/batch_next)
+    ++count;
+  }
+};
+
+}  // namespace
 
 Port::Port(sim::Simulator& simulator, Node* owner, int index)
     : sim_(&simulator), owner_(owner), index_(index) {}
@@ -16,6 +41,7 @@ void Port::connect(Node* peer, int peer_port, sim::Rate bandwidth,
   assert(peer != nullptr && bandwidth > 0.0 && propagation_delay >= 0);
   peer_ = peer;
   peer_port_ = peer_port;
+  peer_coalesces_ = peer->coalesces_deliveries();
   bandwidth_ = bandwidth;
   prop_delay_ = propagation_delay;
 }
@@ -93,67 +119,114 @@ void Port::arm_kick() {
 }
 
 void Port::start_tx() {
-  // Dequeue at transmission *start* so a control packet arriving mid-
-  // serialization cannot displace the packet already on the wire.
-  PacketRing& next_q = !high_q_.empty() ? high_q_ : low_q_;
-  const PacketRef ref = next_q.front();
-  next_q.pop_front();
-  Packet& p = pool_->get(ref);
-  queued_bytes_ -= p.wire_bytes;
-  if (p.type == PacketType::kData) data_queued_bytes_ -= p.wire_bytes;
-  tx_bytes_ += p.wire_bytes;
+  // Bulk drain: commit up to kMaxBurstPackets back-to-back serializations in
+  // this one event, each packet dequeued and accounted at its *analytic*
+  // serialization-start instant (`start`), with one wire-clock update per
+  // packet but no intermediate kick events.  Priority is resolved at burst
+  // boundaries: every burst begins at a wire-free instant, so a control
+  // packet queued by then still overtakes all queued data; one that arrives
+  // *mid-burst* waits for the burst to end — at most kMaxBurstPackets-1
+  // serializations, the standard store-and-forward slack a batching
+  // transmitter exhibits.  (DESIGN.md §11: this boundary is what lets a
+  // backlogged port run one event per burst instead of one kick per packet.)
+  const bool coalesce = peer_coalesces_;
+  Node* const peer = peer_;
+  const int in_port = peer_port_;
+  sim::Time start = sim_->now();
 
-  // INT stamp: backlog left behind on this port, cumulative tx including this
-  // packet, at the moment serialization begins.
-  if (p.type == PacketType::kData) {
-    IntRecord rec;
-    rec.timestamp = sim_->now();
-    rec.tx_bytes = tx_bytes_;
-    rec.qlen_bytes = static_cast<std::uint32_t>(data_queued_bytes_);
-    rec.bandwidth = bandwidth_;
-    p.push_int(rec);
+  BurstChain chain;
+
+  for (int k = 0; k < kMaxBurstPackets; ++k) {
+    const bool is_data = high_q_.empty();
+    if (is_data && low_q_.empty()) break;
+    PacketRing& next_q = is_data ? low_q_ : high_q_;
+    const PacketRef ref = next_q.front();
+    next_q.pop_front();
+    // Overlap the next committed packet's header fetch with this one's
+    // serialization bookkeeping (INT stamp, PFC release, wire-clock math).
+    if (!next_q.empty()) pool_->prefetch(next_q.front());
+    Packet& p = pool_->get(ref);
+    queued_bytes_ -= p.wire_bytes;
+    if (p.type == PacketType::kData) data_queued_bytes_ -= p.wire_bytes;
+    tx_bytes_ += p.wire_bytes;
+
+    // INT stamp: backlog left behind on this port, cumulative tx including
+    // this packet, at the moment its serialization begins.
+    if (p.type == PacketType::kData) {
+      IntRecord rec;
+      rec.timestamp = start;
+      rec.tx_bytes = tx_bytes_;
+      rec.qlen_bytes = static_cast<std::uint32_t>(data_queued_bytes_);
+      rec.bandwidth = bandwidth_;
+      p.push_int(rec);
+    }
+
+    // The packet has left this node's buffer: release PFC accounting.
+    owner_->on_packet_departed(p);
+
+    // A port sees a handful of wire sizes (full-MTU data, ACKs), so memoize
+    // the last size -> serialization-time mapping and skip the FP division
+    // on the streak.  Bandwidth is fixed after connect(), so size keys it.
+    if (p.wire_bytes != last_ser_bytes_) {
+      last_ser_bytes_ = p.wire_bytes;
+      last_ser_time_ = sim::serialization_time(p.wire_bytes, bandwidth_);
+    }
+    wire_free_time_ = start + last_ser_time_;
+    const sim::Time arrival = wire_free_time_ + prop_delay_;
+
+    if (xshard_ != nullptr) {
+      // Shard-boundary link: the peer lives on another worker's simulator,
+      // so a handle into *this* pool is meaningless there.  Serialize the
+      // packet out of the pool (export_release copies the bytes and retires
+      // the handle) into the mailbox; the destination shard re-materializes
+      // it in its own pool and schedules the delivery at the same arrival
+      // instant.  Never chained: exact per-packet arrivals keep the
+      // conservative-sync horizon math untouched.
+      xshard_->deposit(pool_->export_release(ref), arrival, peer->id(),
+                       in_port);
+    } else if (coalesce) {
+      chain.chain_take(ref, p, arrival);
+    } else {
+      // Fused per-hop event: the peer's delivery is scheduled directly at
+      // start + tx_time + prop_delay — the packet rides as a 4-byte handle,
+      // and no separate end-of-serialization event exists.
+      auto arrive = [peer, ref, in_port] { peer->deliver(ref, in_port); };
+      static_assert(
+          sizeof(arrive) <= 24 &&
+              sim::UniqueFunction::fits_inline<decltype(arrive)>,
+          "per-hop delivery must stay a handle-sized inline closure (node "
+          "pointer + PacketRef + port), never a by-value Packet");
+      sim_->at(arrival, std::move(arrive));
+    }
+
+    start = wire_free_time_;
+    // While this node holds a PFC pause against an upstream, departure
+    // accounting must stay per-packet — resume timing hangs off it — so the
+    // burst stops growing here.
+    if (owner_->any_ingress_paused()) break;
   }
 
-  // The packet has left this node's buffer: release PFC accounting.
-  owner_->on_packet_departed(p);
-
-  // A port sees a handful of wire sizes (full-MTU data, ACKs), so memoize
-  // the last size -> serialization-time mapping and skip the FP division on
-  // the streak.  Bandwidth is fixed after connect(), so size alone keys it.
-  if (p.wire_bytes != last_ser_bytes_) {
-    last_ser_bytes_ = p.wire_bytes;
-    last_ser_time_ = sim::serialization_time(p.wire_bytes, bandwidth_);
-  }
-  const sim::Time tx_time = last_ser_time_;
-  wire_free_time_ = sim_->now() + tx_time;
-
-  if (xshard_ != nullptr) {
-    // Shard-boundary link: the peer lives on another worker's simulator, so
-    // a handle into *this* pool is meaningless there.  Serialize the packet
-    // out of the pool (export_release copies the bytes and retires the
-    // handle) into the mailbox; the destination shard re-materializes it in
-    // its own pool and schedules the delivery at the same arrival instant.
-    xshard_->deposit(pool_->export_release(ref),
-                     sim_->now() + tx_time + prop_delay_, peer_->id(),
-                     peer_port_);
-  } else {
-    // Fused per-hop event: the peer's delivery is scheduled directly at
-    // tx_time + prop_delay — the packet rides as a 4-byte handle, and no
-    // separate end-of-serialization event exists.
-    Node* peer = peer_;
-    const int in_port = peer_port_;
+  if (chain.count == 1) {
+    const PacketRef ref = chain.head;
     auto arrive = [peer, ref, in_port] { peer->deliver(ref, in_port); };
-    static_assert(
-        sizeof(arrive) <= 24 &&
-            sim::UniqueFunction::fits_inline<decltype(arrive)>,
-        "per-hop delivery must stay a handle-sized inline closure (node "
-        "pointer + PacketRef + port), never a by-value Packet");
-    sim_->after(tx_time + prop_delay_, std::move(arrive));
+    static_assert(sizeof(arrive) <= 24 &&
+                      sim::UniqueFunction::fits_inline<decltype(arrive)>,
+                  "per-hop delivery must stay a handle-sized inline closure");
+    sim_->at(chain.arrival, std::move(arrive));
+  } else if (chain.count > 1) {
+    // One event for the whole chain, at the last packet's arrival instant
+    // (causal for every chained packet; the receiver coalesces).
+    const PacketRef ref = chain.head;
+    auto arrive = [peer, ref, in_port] { peer->deliver_batch(ref, in_port); };
+    static_assert(sizeof(arrive) <= 24 &&
+                      sim::UniqueFunction::fits_inline<decltype(arrive)>,
+                  "batched delivery must stay a handle-sized inline closure");
+    sim_->at(chain.arrival, std::move(arrive));
   }
 
-  // Self-schedule the next dequeue at the end of this serialization — but
-  // only when there is already a backlog to drain.  An idle port costs no
-  // kick event; a later enqueue re-arms it via maybe_start_tx.
+  // Self-schedule the next dequeue at the end of this burst — but only when
+  // there is already a backlog to drain.  An idle port costs no kick event;
+  // a later enqueue re-arms it via maybe_start_tx.
   if (!high_q_.empty() || !low_q_.empty()) arm_kick();
 }
 

@@ -11,6 +11,15 @@
 // PacketPool, and each transmitted packet costs a single scheduled event —
 // the peer's delivery at tx_time + prop_delay — with the next dequeue driven
 // by a self-scheduled kick at tx_time only when a backlog exists.
+//
+// Bulk drain (DESIGN.md §11): while a backlog exists, one transmitter event
+// commits up to kMaxBurstPackets back-to-back serializations with a single
+// wire-clock update per burst.  Control packets always burst (FIFO within
+// the strict-priority class, so ordering and per-packet arrival instants are
+// unchanged); data packets extend a burst only toward a peer that coalesces
+// deliveries (hosts), keeping switch-to-switch strict-priority preemption
+// exact at packet granularity.  Chained packets to a coalescing peer share
+// one deliver_batch event at the last arrival instant.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +35,12 @@ namespace fastcc::net {
 
 class Node;
 class CrossShardSink;
+
+/// Upper bound on back-to-back transmissions committed per bulk-drain event
+/// (and thus on the length of a deliver_batch chain).  Small enough that a
+/// committed burst delays a preempting control packet — or a PFC pause — by
+/// well under a microsecond at datacenter link rates.
+inline constexpr int kMaxBurstPackets = 8;
 
 /// Random Early Detection marking parameters (DCQCN's congestion signal).
 struct RedParams {
@@ -83,6 +98,17 @@ class Port {
   std::uint64_t data_queue_bytes() const { return data_queued_bytes_; }
   std::uint64_t max_queue_bytes() const { return max_queued_bytes_; }
   std::uint64_t tx_bytes_total() const { return tx_bytes_; }
+  /// Bytes of committed transmissions not yet on the wire at `now`.  The
+  /// bulk drain books a whole burst's tx_bytes at its commit event, but the
+  /// wire stays continuously busy from that instant to wire_free_time_, so
+  /// the unserialized remainder is exactly the residual busy time at line
+  /// rate.  Samplers (UtilizationMonitor) subtract this so a window never
+  /// reads above link capacity.
+  double unserialized_tx_bytes(sim::Time now) const {
+    return now >= wire_free_time_
+               ? 0.0
+               : static_cast<double>(wire_free_time_ - now) * bandwidth_;
+  }
   std::uint64_t drops() const { return drops_; }
 
   /// Hard buffer cap; packets beyond it are dropped (experiments run with
@@ -111,6 +137,9 @@ class Port {
 
   Node* peer_ = nullptr;
   int peer_port_ = -1;
+  /// Cached peer->coalesces_deliveries(): the peer's type is fixed at
+  /// connect(), so the transmitter never pays the virtual call per burst.
+  bool peer_coalesces_ = false;
   sim::Rate bandwidth_ = 0.0;
   sim::Time prop_delay_ = 0;
 

@@ -19,6 +19,13 @@ std::uint64_t mix64(std::uint64_t x) {
 
 void SwitchNode::set_routes(NodeId dst, std::vector<int> ports) {
   if (routes_by_dst_.size() <= dst) routes_by_dst_.resize(dst + 1);
+  if (route_ref_.size() <= dst) route_ref_.resize(dst + 1, 0);
+  assert(ports.size() < 256 && "ECMP fan-out exceeds the flat table's count byte");
+  assert(flat_ports_.size() + ports.size() < (1u << 24) &&
+         "flat route storage exceeds the 24-bit offset");
+  route_ref_[dst] = (static_cast<std::uint32_t>(ports.size()) << 24) |
+                    static_cast<std::uint32_t>(flat_ports_.size());
+  for (const int p : ports) flat_ports_.push_back(static_cast<std::int16_t>(p));
   routes_by_dst_[dst] = std::move(ports);
 }
 
@@ -28,25 +35,32 @@ const std::vector<int>& SwitchNode::routes(NodeId dst) const {
 }
 
 int SwitchNode::select_port(NodeId dst, FlowId flow, NodeId src) const {
-  const auto& candidates = routes(dst);
-  assert(!candidates.empty() && "no route to destination");
-  if (candidates.size() == 1) return candidates[0];
+  assert(dst < route_ref_.size() && (route_ref_[dst] >> 24) != 0 &&
+         "no route to destination");
+  const std::uint32_t ref = route_ref_[dst];
+  const std::uint32_t n = ref >> 24;
+  const std::int16_t* candidates = flat_ports_.data() + (ref & 0xffffffu);
+  if (n == 1) return candidates[0];
   const std::uint64_t key = (static_cast<std::uint64_t>(flow) << 32) ^
                             (static_cast<std::uint64_t>(src) << 16) ^ dst;
   // Salt with the switch id so consecutive tiers don't make correlated picks.
   const std::uint64_t h = mix64(key ^ (static_cast<std::uint64_t>(id()) << 48));
   // Lemire range reduction: (h * n) >> 64 maps the well-mixed hash onto
   // [0, n) without the per-packet 64-bit modulo.
-  const auto pick = static_cast<std::size_t>(
-      (static_cast<unsigned __int128>(h) * candidates.size()) >> 64);
+  const auto pick =
+      static_cast<std::size_t>((static_cast<unsigned __int128>(h) * n) >> 64);
   return candidates[pick];
 }
 
-void SwitchNode::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {
+void SwitchNode::forward(FASTCC_CONSUMES PacketRef ref, int in_port) {
   (void)in_port;
   const Packet& p = packet_pool()->get(ref);
   const int out = select_port(p.dst, p.flow, p.src);
   port(out).enqueue(ref);
+}
+
+void SwitchNode::receive(FASTCC_CONSUMES PacketRef ref, int in_port) {
+  forward(ref, in_port);
 }
 
 }  // namespace fastcc::net

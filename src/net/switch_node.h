@@ -17,7 +17,9 @@ namespace fastcc::net {
 class SwitchNode : public Node {
  public:
   SwitchNode(sim::Simulator& simulator, NodeId id, std::string name)
-      : Node(simulator, id, std::move(name)) {}
+      : Node(simulator, id, std::move(name)) {
+    mark_as_switch();
+  }
 
   /// Replaces the candidate egress ports toward `dst`.
   void set_routes(NodeId dst, std::vector<int> ports);
@@ -28,6 +30,9 @@ class SwitchNode : public Node {
 
   const std::vector<int>& routes(NodeId dst) const;
 
+  /// Forwarding body, reachable without a vtable hop (see Node::deliver).
+  FASTCC_SHARD_LOCAL void forward(FASTCC_CONSUMES PacketRef ref, int in_port);
+
  protected:
   void receive(FASTCC_CONSUMES PacketRef ref, int in_port) override;
 
@@ -35,6 +40,16 @@ class SwitchNode : public Node {
   /// Built by Network::build_routes() before the run; read-only afterwards
   /// (ECMP lookups happen concurrently from every shard's worker).
   FASTCC_SHARD_SHARED_RO std::vector<std::vector<int>> routes_by_dst_;
+  /// Forwarding-path mirror of routes_by_dst_: one dense word per
+  /// destination (candidate count in the top byte, offset into flat_ports_
+  /// below) so the per-packet lookup is two dependent loads into arrays a
+  /// few hundred bytes long — L1-resident — instead of chasing a
+  /// vector-of-vectors through two cold lines.  set_routes() appends the
+  /// new candidate list and repoints the word; a re-set destination strands
+  /// its old range (routes are built once per topology, so the waste is
+  /// bytes, not growth).
+  FASTCC_SHARD_SHARED_RO std::vector<std::uint32_t> route_ref_;
+  FASTCC_SHARD_SHARED_RO std::vector<std::int16_t> flat_ports_;
   static const std::vector<int> kNoRoutes;
 };
 

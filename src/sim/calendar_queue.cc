@@ -40,68 +40,83 @@ void CalendarQueue::drop_dead(std::vector<Entry>& bucket) {
   }
 }
 
-std::pair<std::size_t, std::size_t> CalendarQueue::find_min() {
-  assert(!empty());
-  // A runner-up recorded by an earlier scan may have been invalidated by
-  // schedules or cancels since; only the one produced inside the current
-  // take_next call (no interleaving possible) is ever consumed.
-  second_valid_ = false;
-  if (cached_valid_) {
-    assert(buckets_[cached_.bucket][cached_.index].seq == cached_.seq);
-    return {cached_.bucket, cached_.index};
+void CalendarQueue::extract_day(std::vector<Entry>& bucket, Time day_start,
+                                Time day_end) {
+  // One fused pass: cancelled entries are reclaimed in the same sweep that
+  // tests day membership, and membership is an interval check against the
+  // day's [start, end) window rather than a per-entry division.  In-day
+  // entries move wholesale into today_; off-day entries (later laps of the
+  // wrapped bucket) stay put.
+  for (std::size_t i = 0; i < bucket.size();) {
+    if (pending_dead_ != 0 && !slots_.is_live(bucket[i].id)) {
+      // Swap-with-back removal re-examines the swapped-in tail at index i.
+      reclaim_at(bucket, i);
+      continue;
+    }
+    const Entry& e = bucket[i];
+    if (e.at >= day_start && e.at < day_end) {
+      today_.push_back(e);
+      bucket[i] = bucket.back();
+      bucket.pop_back();
+      continue;
+    }
+    ++i;
   }
+}
+
+void CalendarQueue::sort_today() {
+  // A day holds a handful of entries (the width calibration targets ~3x the
+  // median inter-event gap), so the common case is a 2-8 element sort where
+  // std::sort's introsort dispatch costs more than the work itself.  Plain
+  // binary-insertion for short days, std::sort beyond.
+  const auto by_time_fifo = [](const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  };
+  if (today_.size() <= 16) {
+    for (std::size_t i = 1; i < today_.size(); ++i) {
+      Entry e = today_[i];
+      std::size_t j = i;
+      while (j > 0 && by_time_fifo(e, today_[j - 1])) {
+        today_[j] = today_[j - 1];
+        --j;
+      }
+      today_[j] = e;
+    }
+    return;
+  }
+  std::sort(today_.begin(), today_.end(), by_time_fifo);
+}
+
+void CalendarQueue::refill_today() {
+  assert(!today_active_ && today_.empty() && today_pos_ == 0);
+  assert(slots_.live() > 0);
+  // Pops never shrink the table themselves (a per-pop check taxes the hot
+  // path for a rare transition); the population-shrink side of the resize
+  // heuristic runs here, once per extracted day.
+  maybe_resize();
   const std::size_t mask = buckets_.size() - 1;
-  constexpr std::size_t npos = static_cast<std::size_t>(-1);
-  // Phase 1: walk day-by-day from the last popped timestamp; the first
-  // bucket holding an event belonging to the current day yields the minimum.
-  // One fused pass per bucket: cancelled entries are reclaimed in the same
-  // sweep that tests day membership, and membership is an interval check
-  // against the day's [start, end) window rather than a per-entry division.
-  // The same sweep records the day's runner-up: every entry outside this day
-  // fires at or after day_end, strictly later than anything inside it, so
-  // the in-day second-best is the global second-best.
+  // Phase 1: walk day-by-day from the last popped timestamp; the first day
+  // holding a live event is extracted wholesale.  Every entry outside the
+  // winning day fires at or after its day_end, strictly later than anything
+  // inside it, so the extracted-and-sorted array is a prefix of the global
+  // pop order.
   std::uint64_t day = static_cast<std::uint64_t>(last_popped_) >> width_shift_;
   for (std::size_t step = 0; step < buckets_.size(); ++step, ++day) {
-    const std::size_t bi = static_cast<std::size_t>(day) & mask;
-    std::vector<Entry>& bucket = buckets_[bi];
     const Time day_start = static_cast<Time>(day << width_shift_);
-    const Time day_end = day_start + width_;
-    std::size_t best = npos, second = npos;
-    for (std::size_t i = 0; i < bucket.size();) {
-      if (pending_dead_ != 0 && !slots_.is_live(bucket[i].id)) {
-        // Swap-with-back removal re-examines the swapped-in tail at the same
-        // index.  Neither candidate can point at the tail here: best,
-        // second <= i (only already-scanned entries are candidates) and
-        // i < size() - 1 unless i is the tail itself, in which case
-        // bucket[i] is dead and both candidates are < i.
-        reclaim_at(bucket, i);
-        continue;
-      }
-      const Entry& e = bucket[i];
-      if (e.at >= day_start && e.at < day_end) {
-        if (best == npos || e.at < bucket[best].at ||
-            (e.at == bucket[best].at && e.seq < bucket[best].seq)) {
-          second = best;
-          best = i;
-        } else if (second == npos || e.at < bucket[second].at ||
-                   (e.at == bucket[second].at && e.seq < bucket[second].seq)) {
-          second = i;
-        }
-      }
-      ++i;
-    }
-    if (best != npos) {
-      cache_from(bi, best, cached_);
-      cached_valid_ = true;
-      if (second != npos) {
-        cache_from(bi, second, second_);
-        second_valid_ = true;
-      }
-      return {bi, best};
+    extract_day(buckets_[static_cast<std::size_t>(day) & mask], day_start,
+                day_start + width_);
+    if (!today_.empty()) {
+      sort_today();
+      today_start_ = day_start;
+      today_end_ = day_start + width_;
+      today_active_ = true;
+      return;
     }
   }
-  // Phase 2 (sparse population): global scan, tracking best and runner-up.
-  std::size_t min_b = npos, min_i = 0, sec_b = npos, sec_i = 0;
+  // Phase 2 (sparse population): the next event lies beyond one full lap of
+  // days.  Scan everything for the global minimum, then extract its day.
+  constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t min_b = npos, min_i = 0;
   for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
     drop_dead(buckets_[bi]);
     for (std::size_t i = 0; i < buckets_[bi].size(); ++i) {
@@ -109,32 +124,82 @@ std::pair<std::size_t, std::size_t> CalendarQueue::find_min() {
       if (min_b == npos || e.at < buckets_[min_b][min_i].at ||
           (e.at == buckets_[min_b][min_i].at &&
            e.seq < buckets_[min_b][min_i].seq)) {
-        sec_b = min_b;
-        sec_i = min_i;
         min_b = bi;
         min_i = i;
-      } else if (sec_b == npos || e.at < buckets_[sec_b][sec_i].at ||
-                 (e.at == buckets_[sec_b][sec_i].at &&
-                  e.seq < buckets_[sec_b][sec_i].seq)) {
-        sec_b = bi;
-        sec_i = i;
       }
     }
   }
   assert(min_b != npos);
-  cache_from(min_b, min_i, cached_);
-  cached_valid_ = true;
-  if (sec_b != npos) {
-    cache_from(sec_b, sec_i, second_);
-    second_valid_ = true;
+  const std::uint64_t min_day =
+      static_cast<std::uint64_t>(buckets_[min_b][min_i].at) >> width_shift_;
+  const Time day_start = static_cast<Time>(min_day << width_shift_);
+  extract_day(buckets_[min_b], day_start, day_start + width_);
+  assert(!today_.empty());
+  sort_today();
+  today_start_ = day_start;
+  today_end_ = day_start + width_;
+  today_active_ = true;
+}
+
+const CalendarQueue::Entry* CalendarQueue::peek_front() {
+  while (true) {
+    if (slots_.live() == 0) return nullptr;
+    if (!today_active_) refill_today();
+    // Cancelled-under-the-cursor entries are skipped (and their slots
+    // reclaimed) here; extraction only filtered the dead known at scan time.
+    while (today_pos_ < today_.size()) {
+      const Entry& e = today_[today_pos_];
+      if (pending_dead_ != 0 && !slots_.is_live(e.id)) {
+        slots_.release(e.id);
+        --pending_dead_;
+        ++today_pos_;
+        continue;
+      }
+      return &e;
+    }
+    today_.clear();
+    today_pos_ = 0;
+    today_active_ = false;
   }
-  return {min_b, min_i};
+}
+
+void CalendarQueue::insert_today(const Entry& e) {
+  // Upper-bound by timestamp over the undrained region: the new entry holds
+  // the largest seq issued, so FIFO order among equal timestamps is exactly
+  // "after every existing equal entry".
+  const auto begin = today_.begin() + static_cast<std::ptrdiff_t>(today_pos_);
+  const auto it = std::upper_bound(
+      begin, today_.end(), e.at,
+      [](Time at, const Entry& x) { return at < x.at; });
+  const std::ptrdiff_t front_dist = it - begin;
+  const std::ptrdiff_t back_dist = today_.end() - it;
+  if (today_pos_ > 0 && front_dist < back_dist) {
+    // The drained slots before the cursor are free space, and in-day
+    // schedules land near the cursor (they fire between "now" and day end),
+    // so shifting the short undrained prefix one slot left is far cheaper
+    // than vector::insert moving the day's whole tail.
+    std::move(begin, it, begin - 1);
+    *(it - 1) = e;
+    --today_pos_;
+  } else {
+    today_.insert(it, e);
+  }
+}
+
+void CalendarQueue::flush_today() {
+  for (std::size_t i = today_pos_; i < today_.size(); ++i) {
+    buckets_[bucket_of(today_[i].at)].push_back(today_[i]);
+  }
+  today_.clear();
+  today_pos_ = 0;
+  today_active_ = false;
 }
 
 Time CalendarQueue::next_time() {
   assert(!empty());
-  const auto [bi, i] = find_min();
-  return buckets_[bi][i].at;
+  const Entry* front = peek_front();
+  assert(front != nullptr);
+  return front->at;
 }
 
 Time CalendarQueue::pop_and_run() {
@@ -146,10 +211,10 @@ Time CalendarQueue::pop_and_run() {
   return at;
 }
 
-void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
-  // Entries relocate wholesale; any cached position is garbage afterwards.
-  cached_valid_ = false;
-  second_valid_ = false;
+void CalendarQueue::rebuild(std::size_t new_bucket_count) {
+  // Entries relocate wholesale, so the active day (whose invariant is
+  // "nothing of this day lives in a bucket") must be dissolved first.
+  if (today_active_) flush_today();
   std::vector<Entry> all;
   all.reserve(slots_.live());
   Time min_t = std::numeric_limits<Time>::max();
@@ -165,13 +230,18 @@ void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
   }
   buckets_.clear();
   buckets_.resize(new_bucket_count);
-  // Recalibrate the day width from the *median* inter-event gap.  The mean,
-  // (max - min) / n, collapses under the bimodal mix real simulations
-  // produce — dense near-term packet events plus a few far-future
-  // retransmit timers — because the outliers stretch the range and every
-  // near-term event lands in one bucket, degrading pops to linear scans.
-  // The median ignores the outliers and sizes days for the dense mode; the
-  // 3x factor targets a few events per day (Brown, CACM 1988).
+  // Recalibrate the day width from the median *non-zero* inter-event gap.
+  // The mean, (max - min) / n, collapses under the bimodal mix real
+  // simulations produce — dense near-term packet events plus a few
+  // far-future retransmit timers — because the outliers stretch the range
+  // and every near-term event lands in one bucket, degrading pops to linear
+  // scans.  Zero gaps (events sharing a timestamp) are excluded: they carry
+  // no width information — simultaneous events land in the same day at
+  // *any* width — yet a synchronized burst (an incast start, a barrier of
+  // flow arrivals) can make them the majority, dragging the median to zero
+  // and the width to a single nanosecond, at which point every refill walks
+  // hundreds of empty days.  The 3x factor targets a few events per day
+  // (Brown, CACM 1988).
   if (all.size() > 1 && max_t > min_t) {
     std::vector<Time> times;
     times.reserve(all.size());
@@ -180,14 +250,13 @@ void CalendarQueue::rebuild(std::size_t new_bucket_count, Time /*hint*/) {
     std::vector<Time> gaps;
     gaps.reserve(times.size() - 1);
     for (std::size_t i = 1; i < times.size(); ++i) {
-      gaps.push_back(times[i] - times[i - 1]);
+      if (times[i] != times[i - 1]) gaps.push_back(times[i] - times[i - 1]);
     }
-    // Zero gaps (events sharing a timestamp) stay in: they signal high
-    // density and pull the median down, so bursts of simultaneous events
-    // get narrow days instead of one overstuffed bucket.
-    const std::size_t mid = gaps.size() / 2;
-    std::nth_element(gaps.begin(), gaps.begin() + mid, gaps.end());
-    set_width(3 * gaps[mid]);
+    if (!gaps.empty()) {
+      const std::size_t mid = gaps.size() / 2;
+      std::nth_element(gaps.begin(), gaps.begin() + mid, gaps.end());
+      set_width(3 * gaps[mid]);
+    }
   }
   for (const Entry& e : all) {
     buckets_[bucket_of(e.at)].push_back(e);

@@ -95,6 +95,18 @@ class EventSlotPool {
   /// Number of pending, non-cancelled events.
   std::size_t live() const { return live_; }
 
+  /// Hints the handle's metadata and callback slot into cache.  The pop path
+  /// issues this one event ahead: the slot arrays are large enough to fall
+  /// out of L1/L2 under thousands of live events, and the next pop's slot is
+  /// known the moment the current one is selected, so the fetch overlaps a
+  /// whole callback's worth of work instead of stalling release_into().
+  void prefetch(Handle h) const {
+    const std::uint32_t slot = slot_of(h);
+    if (slot >= meta_.size()) return;
+    __builtin_prefetch(&meta_[slot]);
+    __builtin_prefetch(&cbs_[slot]);
+  }
+
  private:
   struct Meta {
     std::uint32_t gen = 0;

@@ -22,11 +22,14 @@ class UniqueFunction {
  public:
   /// Inline capacity.  With the zero-copy packet pipeline the hottest
   /// closures are handle-sized (node pointer + 4-byte PacketRef + port,
-  /// <= 24 bytes); 64 bytes also covers host timers, std::function sampler
-  /// copies (32 B), and the experiments' flow-start closures, while keeping
-  /// a whole event slot within two cache lines instead of seven (the old
-  /// 384-byte buffer sized for a by-value Packet).
-  static constexpr std::size_t kInlineSize = 64;
+  /// <= 24 bytes); 32 bytes also covers host timers and std::function
+  /// sampler copies, and keeps the whole wrapper at 48 bytes — every
+  /// schedule and pop physically moves this buffer, so the hot-path cost
+  /// scales with it (the old 384-byte buffer sized for a by-value Packet
+  /// spanned seven cache lines; 64 spanned two).  Rare oversized callables
+  /// (the experiments' flow-start closures, one per flow) take the heap
+  /// fallback.
+  static constexpr std::size_t kInlineSize = 32;
   static constexpr std::size_t kInlineAlign = alignof(std::max_align_t);
 
   /// True when callables of type F are stored inline (no heap allocation).

@@ -191,6 +191,58 @@ TEST(AllocFreeDispatch, FatTreeSteadyStateZeroAllocations) {
   EXPECT_GT(simulator.events_executed(), 100'000u);
 }
 
+// The batched ACK delivery path (DESIGN.md §11): several long flows from
+// ONE sender share its single host link, so the returning ACK streams
+// interleave on the reverse direction and arrive as burst-coalesced
+// deliver_batch() chains mixing flows.  Each batch runs ack_apply per
+// packet plus one ack_finalize per touched flow — the whole per-flow
+// dedup/finalize machinery, the slab hot-lane updates, and the NIC-arbiter
+// heap fix-ups must all run out of steady-state storage: zero allocations.
+TEST(AllocFreeDispatch, BatchedAckPathSteadyStateZeroAllocations) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  topo::FatTree tree = topo::build_fat_tree(network, topo::scaled_fat_tree());
+
+  net::Host* src = tree.hosts[0];
+  const std::uint64_t size = 100'000'000;  // never finishes within the run
+  auto start = [&](net::Host* from, net::Host* to, net::FlowId id,
+                   sim::Rate rate) {
+    const net::PathInfo path = network.path(from->id(), to->id());
+    net::FlowTx f;
+    f.spec.id = id;
+    f.spec.src = from->id();
+    f.spec.dst = to->id();
+    f.spec.size_bytes = size;
+    f.spec.start_time = 0;
+    f.line_rate = from->port(0).bandwidth();
+    f.base_rtt = path.base_rtt;
+    f.path_hops = path.hops;
+    f.cc = std::make_unique<test::FixedCc>(1e12, rate);
+    from->start_flow(std::move(f));
+  };
+  // Aggregate pacing stays under the 100 Gbps host link so queues (and the
+  // packet pool) reach a bounded steady state instead of growing forever.
+  for (net::FlowId id = 1; id <= 6; ++id) {
+    start(src, tree.hosts[tree.hosts.size() - static_cast<std::size_t>(id)],
+          id, sim::gbps(15));
+  }
+  // A near-line-rate incoming flow backlogs the ToR->src port, so the six
+  // returning ACK streams ride its bursts: src's deliveries arrive as
+  // chains mixing data and multi-flow ACKs — the batched path proper.
+  start(tree.hosts[1], src, 7, sim::gbps(90));
+
+  simulator.run(/*until=*/300 * sim::kMicrosecond);  // warm-up
+  ASSERT_EQ(src->active_flow_count(), 6u) << "flows must stay in flight";
+
+  const std::size_t before = g_news;
+  simulator.run(/*until=*/900 * sim::kMicrosecond);
+  const std::size_t delta = g_news - before;
+  EXPECT_EQ(delta, 0u) << "batched ACK steady state allocated";
+  // The slab's incremental rate bookkeeping stayed consistent through the
+  // batch passes.
+  EXPECT_DOUBLE_EQ(src->total_send_rate(), src->total_send_rate_recomputed());
+}
+
 // Pool leak check: when a simulation drains completely, every handle has
 // been returned — data packets, ACKs, PFC frames, and tail drops all give
 // their slots back.

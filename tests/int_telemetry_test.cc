@@ -17,11 +17,11 @@ namespace {
 /// Records every AckContext INT stack it sees; holds the window wide open.
 class IntProbeCc final : public cc::CongestionControl {
  public:
-  void on_flow_start(FlowTx& flow) override {
+  void on_flow_start(FlowView flow) override {
     flow.window_bytes = FlowTx::kUnlimitedWindow;
     flow.rate = flow.line_rate;
   }
-  void on_ack(const cc::AckContext& ack, FlowTx&) override {
+  void on_ack(const cc::AckContext& ack, FlowView) override {
     stacks.push_back(std::vector<IntRecord>(ack.ints.begin(), ack.ints.end()));
   }
   const char* name() const override { return "int-probe"; }

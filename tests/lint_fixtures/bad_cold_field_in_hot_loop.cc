@@ -1,0 +1,44 @@
+// fastcc-lint fixture: cold FlowTx fields touched inside per-packet loops.
+// The file name contains "cold_field", which opts it into the hot-path gate
+// the same way src/net/host.* and src/cc/ are.  FlowTx is split hot/cold
+// (DESIGN.md §11): the SoA slab lanes are the only flow state a per-packet
+// loop may touch; pulling the cold record in drags its cache lines through
+// every iteration of an ACK burst.  Never compiled; exercised by
+// --self-test.
+
+namespace fastcc::bad {
+
+// The anti-pattern the slab refactor removed: per-ACK dup-ACK bookkeeping
+// against the cold record, inside the batch-drain loop instead of staged
+// once per touched flow in ack_finalize.
+void drain_acks(net::Host& host, net::PacketRef first) {
+  while (first.valid()) {
+    net::Packet& p = host.packet_pool()->get(first);
+    net::FlowTx& f = *host.mutable_flow(p.flow);
+    ++f.dup_acks;  // expect-lint: cold-field-in-hot-loop
+    if (f.rto_timer_armed) {  // expect-lint: cold-field-in-hot-loop
+      host.wheel().cancel(f.rto_timer);  // expect-lint: cold-field-in-hot-loop
+    }
+    first = net::PacketRef{p.batch_next};
+  }
+}
+
+// Range-for over the flow table reading a retransmit counter: the counter
+// moves once per loss event, so the sum belongs in a snapshot taken outside
+// any per-packet context — and the loop drags every record's cold line in.
+std::uint64_t total_retransmitted(const net::Host& host) {
+  std::uint64_t total = 0;
+  for (const auto& [fid, f] : host.tx_flows()) {
+    total += f.bytes_retransmitted;  // expect-lint: cold-field-in-hot-loop
+  }
+  return total;
+}
+
+// The loop *condition* re-reads the cold line every pass even though the
+// brace-free body never names the record.
+void spin_until_disarmed(net::FlowTx* f) {
+  while (f->cc_timer_at >= 0)  // expect-lint: cold-field-in-hot-loop
+    step_once();
+}
+
+}  // namespace fastcc::bad

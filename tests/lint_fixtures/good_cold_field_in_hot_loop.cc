@@ -1,0 +1,35 @@
+// fastcc-lint fixture: the compliant counterpart of bad_cold_field_in_hot_
+// loop.cc.  Per-packet loops read only the SoA slab lanes; the cold FlowTx
+// record is touched once per batch, after the loop — the ack_apply /
+// ack_finalize split host.cc actually uses.  Never compiled; exercised by
+// --self-test.
+
+namespace fastcc::good {
+
+// Hot-lane-only drain: every per-packet load hits the slab, and the one
+// flow whose cold state must move is finalized exactly once afterwards.
+void drain_acks(net::Host& host, net::PacketRef first, net::FlowId touched) {
+  while (first.valid()) {
+    net::Packet& p = host.packet_pool()->get(first);
+    const net::FlowIdx i = host.slab().index_of(p.flow);
+    host.slab().cum_acked[i] += p.payload_bytes;  // hot lane: fine per packet
+    first = net::PacketRef{p.batch_next};
+  }
+  net::FlowTx& f = *host.mutable_flow(touched);
+  ++f.dup_acks;  // once per batch, outside the loop: the staged update
+  f.last_retransmit_time = -1;
+}
+
+// Cold access hoisted above the loop: the loop body itself sees only the
+// captured copy and the slab lanes.
+std::uint64_t window_limited_bytes(const net::Host& host, net::FlowIdx i,
+                                   int rounds) {
+  const std::uint64_t limit = host.slab().window_bytes[i];
+  std::uint64_t sent = 0;
+  for (int r = 0; r < rounds; ++r) {
+    sent += limit - host.slab().inflight_bytes(i);
+  }
+  return sent;
+}
+
+}  // namespace fastcc::good

@@ -37,8 +37,11 @@ TEST(QueueMonitor, SamplesBacklogOnSchedule) {
   h.simulator.at(2000, [&running] { running = false; });
   h.simulator.run(3000);
   ASSERT_GE(mon.series().size(), 10u);
-  // First sample (t=100): one packet gone + one on the wire -> 8 queued.
-  EXPECT_DOUBLE_EQ(mon.series().points()[0].value, 8 * 1048.0);
+  // First sample (t=100): the t=0 commit sent one packet, and the t=84 kick
+  // bulk-committed the next kMaxBurstPackets at their analytic serialization
+  // starts (DESIGN.md §11: dequeue accounting happens at burst commit, so
+  // sampled backlog moves in burst-sized steps) -> one packet still queued.
+  EXPECT_DOUBLE_EQ(mon.series().points()[0].value, 1 * 1048.0);
   // Final samples: empty queue.
   EXPECT_DOUBLE_EQ(mon.series().points().back().value, 0.0);
 }

@@ -59,11 +59,11 @@ class FixedCc final : public cc::CongestionControl {
   FixedCc(double window_bytes, sim::Rate rate)
       : window_bytes_(window_bytes), rate_(rate) {}
 
-  void on_flow_start(net::FlowTx& flow) override {
+  void on_flow_start(net::FlowView flow) override {
     flow.window_bytes = window_bytes_;
     flow.rate = rate_;
   }
-  void on_ack(const cc::AckContext&, net::FlowTx&) override {}
+  void on_ack(const cc::AckContext&, net::FlowView) override {}
   const char* name() const override { return "fixed"; }
 
  private:

@@ -59,7 +59,9 @@ TEST(UniqueFunction, MoveOnlyCapture) {
 TEST(UniqueFunction, SmallCallablesStoreInline) {
   // The compile-time predicate the net layer uses to guarantee its hot
   // closures never allocate.
-  auto small = [x = std::array<char, 64>{}] { (void)x; };
+  auto small = [x = std::array<char, UniqueFunction::kInlineSize>{}] {
+    (void)x;
+  };
   static_assert(UniqueFunction::fits_inline<decltype(small)>);
   auto big = [x = std::array<char, UniqueFunction::kInlineSize + 1>{}] {
     (void)x;
