@@ -11,6 +11,7 @@
 
 #include "net/port.h"
 #include "sim/simulator.h"
+#include "util/contracts.h"
 #include "sim/timing_wheel.h"
 #include "stats/timeseries.h"
 
@@ -57,7 +58,7 @@ class UtilizationMonitor {
   /// Fraction of link capacity used per interval, in [0, ~1].
   const stats::TimeSeries& series() const { return series_; }
   /// Mean utilization across all samples so far.
-  double mean_utilization() const;
+  FASTCC_DIMENSIONLESS double mean_utilization() const;
 
   /// See QueueMonitor::ride_wheel.
   void ride_wheel(sim::WheelScheduler* wheel) { wheel_ = wheel; }
@@ -74,7 +75,7 @@ class UtilizationMonitor {
   sim::WheelScheduler* wheel_ = nullptr;
   /// Serialized-by-last-sample bytes (tx counter minus the in-flight burst
   /// remainder) — fractional because the remainder is analytic.
-  double last_tx_bytes_ = 0.0;
+  FASTCC_UNIT_BYTES double last_tx_bytes_ = 0.0;
 };
 
 }  // namespace fastcc::net

@@ -1,0 +1,20 @@
+// fastcc-units fixture: [cast-drops-unit] — casts laundering one dimension
+// into another.  A cast changes representation (double -> int64), never
+// units; static_cast<Time>(rate) silently rebadges bytes-per-ns as
+// nanoseconds where the real fix is division or multiplication by the
+// missing quantity.
+
+using Time = long long;
+using Rate = double;
+
+Time fxk_launder(Rate r) {
+  return static_cast<Time>(r);  // expect-units: cast-drops-unit
+}
+
+Rate fxk_functional(Time t) {
+  return Rate(t);  // expect-units: cast-drops-unit
+}
+
+void fxk_assign(Time t, Rate r) {
+  t = static_cast<long long>(r);  // expect-units: cast-drops-unit
+}

@@ -1,0 +1,20 @@
+// fastcc-units fixture: [unchecked-conversion] — raw *8 / /8 / *1000
+// factors applied to a dimensioned value outside src/sim/time.h.  The
+// sanctioned spellings are gbps()/to_gbps() for the bits<->bytes family and
+// the kMicrosecond-family constants for the SI time ladder; a bare factor
+// hides which unit the value is in afterwards.
+
+using Time = long long;
+using Rate = double;
+
+double fxc_to_bits(Rate r) {
+  return r * 8.0;  // expect-units: unchecked-conversion
+}
+
+double fxc_to_micros(Time t) {
+  return t / 1000;  // expect-units: unchecked-conversion
+}
+
+void fxc_compound(Rate r) {
+  r *= 1000.0;  // expect-units: unchecked-conversion
+}

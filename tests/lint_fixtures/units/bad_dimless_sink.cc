@@ -1,0 +1,16 @@
+// fastcc-units fixture: [dimensionless-sink] — a computed dimensionless
+// ratio (Time/Time here) stored into a Time-dimensioned variable.  The
+// division cancelled the unit, so whatever lands in the sink is a bare
+// number wearing a Time type; utilization fractions belong in undimensioned
+// doubles.
+
+using Time = long long;
+
+Time fxd_util(Time busy, Time window) {
+  Time frac = busy / window;  // expect-units: dimensionless-sink
+  return frac;
+}
+
+Time fxd_stamp(Time a, Time b) {
+  return static_cast<Time>(a / b);  // expect-units: dimensionless-sink
+}

@@ -1,0 +1,25 @@
+// fastcc-units fixture: [unit-mix] — two different dimensions meeting in
+// +, -, a comparison, a compound assignment, or an argument sink.  A Time
+// added to a Rate, a B/ns Rate compared against a Gbps-family value, and a
+// Time passed where a Rate parameter is declared are all silent int/double
+// arithmetic to the compiler.
+
+using Time = long long;
+using Rate = double;
+
+Time fxm_deadline(Time start, Rate pace) {
+  return start + pace;  // expect-units: unit-mix
+}
+
+bool fxm_rate_vs_gbps(Rate r) {
+  double g = to_gbps(r);
+  return r > g;  // expect-units: unit-mix
+}
+
+void fxm_wrong_arg(Time t) {
+  fxm_deadline(t, t);  // expect-units: unit-mix
+}
+
+void fxm_accumulate(Time t, Rate r) {
+  t += r;  // expect-units: unit-mix
+}

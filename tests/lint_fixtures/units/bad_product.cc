@@ -1,0 +1,20 @@
+// fastcc-units fixture: [unit-product] — a squared dimension (Time x Time
+// or Rate x Rate) reaching a Time/Rate sink.  Squared values are legal in
+// intermediate math (variance accumulators live in undimensioned doubles),
+// but a Time^2 stored back into a Time variable is always a missing divide.
+
+using Time = long long;
+using Rate = double;
+
+Time fxp_square(Time rtt) {
+  Time t2 = rtt * rtt;  // expect-units: unit-product
+  return t2;
+}
+
+Rate fxp_rate_sq(Rate a, Rate b) {
+  return a * b;  // expect-units: unit-product
+}
+
+void fxp_compound(Time t) {
+  t *= t;  // expect-units: unit-product
+}

@@ -1,0 +1,64 @@
+// fastcc-units fixture: clean control.  Exercises every legitimate shape
+// the analyzer must accept without a finding: Rate x Time = Bytes,
+// Bytes / Time = Rate, Bytes / Rate = Time, the gbps()/to_gbps()
+// conversion round-trip, ratios landing in undimensioned doubles,
+// branch/ternary/loop joins, and a reasoned lint:allow suppression.
+//
+// clean-units: unit-mix, unit-product, unchecked-conversion
+// clean-units: dimensionless-sink, cast-drops-unit
+
+using Time = long long;
+using Rate = double;
+
+struct FxgFlow {
+  Rate line_rate;
+  Time base_rtt;
+  FASTCC_UNIT_BYTES double window_bytes;
+};
+
+double fxg_window(FxgFlow& flow) {
+  // Rate x Time = Bytes: the bandwidth-delay product.
+  double bdp = flow.line_rate * static_cast<double>(flow.base_rtt);
+  return bdp;
+}
+
+Rate fxg_pace(FxgFlow& flow) {
+  // Bytes / Time = Rate.
+  return flow.window_bytes / static_cast<double>(flow.base_rtt);
+}
+
+Time fxg_finish(FxgFlow& flow, Time now, Rate bw) {
+  Time earliest = now + 500;
+  double bytes_left = fxg_window(flow);
+  // Bytes / Rate = Time; Time + Time stays Time.
+  Time fin = earliest + static_cast<Time>(bytes_left / bw);
+  if (fin < earliest) {
+    fin = earliest;
+  }
+  return fin;
+}
+
+Rate fxg_gbps_roundtrip(double gigabits) {
+  Rate r = gbps(gigabits);
+  double g = to_gbps(r);
+  Rate back = gbps(g);
+  return back;
+}
+
+double fxg_utilization(Time busy, Time window) {
+  // A derived ratio is fine as long as it lands in an undimensioned double.
+  return static_cast<double>(busy) / static_cast<double>(window);
+}
+
+double fxg_reasoned_bits(Rate r) {
+  // A deliberate raw factor stays permitted behind a reasoned allow.
+  return r * 8.0;  // lint:allow(unchecked-conversion -- fixture proves reasoned suppression works)
+}
+
+Time fxg_joins(Time a, Time b, bool flip) {
+  Time t = flip ? a : b;
+  for (Time step = 1; step < t; step += 100) {
+    t = t - step;
+  }
+  return t;
+}

@@ -95,6 +95,24 @@ class ResultCacheTest(unittest.TestCase):
         self.assertIsNone(cache.get(key))
         self.assertFalse(os.path.exists(os.path.join(self.tmp, "lint")))
 
+    def test_version_salt_bump_misses_unchanged_hits(self):
+        # The tools fold ANALYZER_SALT into digest_config; a salt bump must
+        # invalidate every entry while an unchanged salt keeps hitting.
+        def units_cache(salt):
+            return fastcc_cache.ResultCache(
+                self.tmp, "units",
+                fastcc_cache.ResultCache.digest_config(salt, ["unit-mix"]))
+
+        v1 = units_cache("fastcc-units-v1")
+        v1.put(v1.key_for("src/a.cc", "int x;"), FINDINGS)
+
+        same = units_cache("fastcc-units-v1")
+        self.assertEqual(same.get(same.key_for("src/a.cc", "int x;")),
+                         FINDINGS)
+
+        bumped = units_cache("fastcc-units-v2")
+        self.assertIsNone(bumped.get(bumped.key_for("src/a.cc", "int x;")))
+
 
 class LintEndToEndTest(unittest.TestCase):
     """The real CLI: second run hits, edits invalidate, findings survive."""
@@ -130,6 +148,48 @@ class LintEndToEndTest(unittest.TestCase):
         code, out = self.run_lint()
         self.assertEqual(code, 0, out)
         self.assertIn("cache 0 hit(s) / 1 file(s)", out)
+
+
+class AnalyzeDriverCacheTest(unittest.TestCase):
+    """fastcc-analyze shares one cache directory but each analyzer keeps
+    its own namespace: wiping one tool's entries must not invalidate the
+    others'."""
+
+    def setUp(self):
+        self.tmp = tempfile.mkdtemp(prefix="fastcc-analyze-cache-")
+        self.addCleanup(shutil.rmtree, self.tmp, ignore_errors=True)
+        self.cache_dir = os.path.join(self.tmp, "cache")
+        self.src = os.path.join(self.tmp, "probe.cc")
+        with open(self.src, "w", encoding="utf-8") as f:
+            f.write("int fx_probe(int a, int b) { return a + b; }\n")
+
+    def run_analyze(self):
+        proc = subprocess.run(
+            [sys.executable, os.path.join(TOOLS, "fastcc-analyze"),
+             "--cache-dir", self.cache_dir, self.src],
+            capture_output=True, text=True)
+        return proc.returncode, proc.stdout
+
+    def test_per_analyzer_namespaces_are_independent(self):
+        code, out = self.run_analyze()
+        self.assertEqual(code, 0, out)
+        for tool in ("lint", "dataflow", "shardsafe", "units"):
+            self.assertTrue(
+                os.path.isdir(os.path.join(self.cache_dir, tool)),
+                f"missing cache namespace for {tool}: {out}")
+        self.assertEqual(out.count("cache 0 hit(s) / 1 file(s)"), 4, out)
+
+        code, out = self.run_analyze()
+        self.assertEqual(code, 0, out)
+        self.assertEqual(out.count("cache 1 hit(s) / 1 file(s)"), 4, out)
+
+        # Wiping the units namespace re-analyzes only units.
+        shutil.rmtree(os.path.join(self.cache_dir, "units"))
+        code, out = self.run_analyze()
+        self.assertEqual(code, 0, out)
+        self.assertIn("fastcc-units: 1 files, 0 finding(s)", out)
+        self.assertEqual(out.count("cache 1 hit(s) / 1 file(s)"), 3, out)
+        self.assertEqual(out.count("cache 0 hit(s) / 1 file(s)"), 1, out)
 
 
 if __name__ == "__main__":
