@@ -29,6 +29,15 @@ inline long long flag_value(int argc, char** argv, const char* name,
   return def;
 }
 
+/// Value of `--name <value>` as a string, or the default.
+inline const char* flag_string(int argc, char** argv, const char* name,
+                               const char* def) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], name) == 0) return argv[i + 1];
+  }
+  return def;
+}
+
 /// Prints a time series as CSV, downsampled to at most `max_rows` rows so
 /// long runs stay readable in terminal output.
 inline void print_series(const char* header, const stats::TimeSeries& series,

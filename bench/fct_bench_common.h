@@ -18,7 +18,10 @@ struct FctBenchOptions {
   double load = 0.5;
   int groups = 20;               ///< Flow-size groups per table.
   std::uint64_t seed = 1;
-  int shards = 0;                ///< --shards N: pod-sharded run, N workers.
+  int shards = 0;                ///< --shards N: sharded run, N workers.
+  /// --granularity pod|tor: partition grain for sharded runs (tor gives
+  /// one shard per rack, so N can usefully exceed the pod count).
+  topo::ShardGranularity granularity = topo::ShardGranularity::kPod;
 };
 
 inline FctBenchOptions parse_fct_options(int argc, char** argv) {
@@ -31,6 +34,13 @@ inline FctBenchOptions parse_fct_options(int argc, char** argv) {
   opt.groups = static_cast<int>(flag_value(argc, argv, "--groups", opt.full_scale ? 100 : 20));
   opt.seed = static_cast<std::uint64_t>(flag_value(argc, argv, "--seed", 1));
   opt.shards = static_cast<int>(flag_value(argc, argv, "--shards", 0));
+  const char* grain = flag_string(argc, argv, "--granularity", "pod");
+  if (std::strcmp(grain, "tor") == 0) {
+    opt.granularity = topo::ShardGranularity::kTor;
+  } else if (std::strcmp(grain, "pod") != 0) {
+    std::fprintf(stderr, "unknown --granularity %s (want pod|tor)\n", grain);
+    std::exit(2);
+  }
   return opt;
 }
 
@@ -50,7 +60,10 @@ inline void run_fct_bench(const char* title,
               opt.load * 100.0,
               static_cast<long long>(opt.duration / sim::kMicrosecond));
   if (opt.shards > 0) {
-    std::printf(", pod-sharded (%d workers)", opt.shards);
+    std::printf(", %s-sharded (%d workers)",
+                opt.granularity == topo::ShardGranularity::kTor ? "tor"
+                                                                : "pod",
+                opt.shards);
   }
   std::printf("\n");
 
@@ -64,11 +77,13 @@ inline void run_fct_bench(const char* title,
     config.load = opt.load;
     config.generate_duration = opt.duration;
     config.seed = opt.seed;
-    // --shards switches to the pod-sharded epoch runner (one shard per pod,
-    // opt.shards worker threads).  Its flow population matches the serial
-    // entry point seed-for-seed, but per-shard rng streams mean individual
-    // FCTs differ slightly; within one invocation all variants use the same
-    // runner, so the tables stay apples-to-apples.
+    config.shard_granularity = opt.granularity;
+    // --shards switches to the sharded epoch runner (grain per
+    // --granularity, opt.shards worker threads).  Its flow population
+    // matches the serial entry point seed-for-seed, but per-shard rng
+    // streams mean individual FCTs differ slightly; within one invocation
+    // all variants use the same runner, so the tables stay
+    // apples-to-apples.
     const exp::DatacenterResult r = opt.shards > 0
                                         ? run_datacenter_sharded(config, opt.shards)
                                         : run_datacenter(config);

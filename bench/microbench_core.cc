@@ -297,6 +297,35 @@ BENCHMARK(BM_FatTreeFullScale)
     ->UseRealTime()
     ->Unit(benchmark::kMillisecond);
 
+/// Rack-grain variant of the same run: 16 shards over the same 8-pod tree,
+/// so the Arg(16) row exercises worker counts past the pod count and the
+/// adaptive-horizon planner at twice the boundary surface.  A separate
+/// benchmark (not more Args on BM_FatTreeFullScale) so the committed
+/// BENCH_core.json baseline keeps gating the pod rows unchanged; new names
+/// are reported but never gated by compare_bench.py.
+void BM_FatTreeFullScaleTor(benchmark::State& state) {
+  const int workers = static_cast<int>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::DatacenterConfig config;
+    config.variant = exp::Variant::kHpccVaiSf;
+    config.topo = topo::sharded_scaled_fat_tree();
+    config.components = {{&workload::hadoop_cdf(), 1.0}};
+    config.load = 0.5;
+    config.generate_duration = 200 * sim::kMicrosecond;
+    config.shard_granularity = topo::ShardGranularity::kTor;
+    const exp::DatacenterResult r = run_datacenter_sharded(config, workers);
+    events += r.events_executed;
+    benchmark::DoNotOptimize(r.flows.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_FatTreeFullScaleTor)
+    ->Arg(1)
+    ->Arg(16)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+
 /// The per-host timer subsystem in isolation: a pacing-style chain (arm,
 /// fire, re-arm at a few-hundred-ns gap) running next to a far RTO that is
 /// repeatedly cancelled and re-armed — the exact mix Host generates per

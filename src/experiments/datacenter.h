@@ -24,6 +24,16 @@ struct DatacenterConfig {
   sim::Time max_sim_time = 400 * sim::kMillisecond;     ///< Drain cap.
   std::uint64_t seed = 1;
 
+  /// Partition grain for run_datacenter_sharded (ignored by the serial
+  /// entry point): kPod gives one shard per pod, kTor one per rack, so the
+  /// parallel width scales with rack count.  Like the worker count, this is
+  /// a wall-clock knob with a determinism contract per grain — but
+  /// *changing* the grain changes shard Rng stream assignment, so results
+  /// are comparable across grains only statistically (same flow
+  /// population, equivalent aggregate FCTs), exactly like sharded vs
+  /// serial.
+  topo::ShardGranularity shard_granularity = topo::ShardGranularity::kPod;
+
   /// When non-empty, replay these flows (src/dst as host indices — e.g.
   /// loaded via workload::load_flow_trace) instead of generating traffic;
   /// `components`/`load`/`generate_duration` are then ignored.

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <limits>
 #include <map>
 #include <memory>
 #include <tuple>
@@ -60,19 +59,34 @@ FASTCC_SHARD_LOCAL void inject_inbox(sim::Simulator& sim, net::PacketPool& pool,
 }
 
 /// Mutable state the epoch loop threads across the barrier.  Every field is
-/// written only inside the completion step (epoch_barrier below) and read by
+/// written only inside the completion step (plan_epoch below) and read by
 /// workers at the next epoch's start; the barrier's release ordering makes
 /// each update visible.
 struct EpochLoopState {
-  FASTCC_EPOCH_PUBLISH sim::Time horizon = 0;
+  explicit EpochLoopState(int shards)
+      : horizon(static_cast<std::size_t>(shards), 0),
+        work(static_cast<std::size_t>(shards), 0),
+        earliest(static_cast<std::size_t>(shards), 0) {
+    active.reserve(static_cast<std::size_t>(shards));
+  }
+
+  FASTCC_EPOCH_PUBLISH std::vector<sim::Time> horizon;  ///< Per shard.
+  FASTCC_EPOCH_PUBLISH std::vector<int> active;  ///< Shards run this epoch.
+  FASTCC_EPOCH_PUBLISH std::vector<sim::Time> work;      ///< Scratch: t[s].
+  FASTCC_EPOCH_PUBLISH std::vector<sim::Time> earliest;  ///< Scratch: e[s].
+  FASTCC_EPOCH_PUBLISH sim::Time front = 0;  ///< Min active horizon so far.
   FASTCC_EPOCH_PUBLISH std::uint64_t epochs = 0;
+  FASTCC_EPOCH_PUBLISH std::uint64_t epochs_skipped = 0;
+  FASTCC_EPOCH_PUBLISH std::uint64_t horizon_jumps = 0;
   FASTCC_EPOCH_PUBLISH bool drained = false;
 };
 
 /// Worker phase: advances shard `s` through the current epoch — inject the
-/// transfers published for it at the last barrier, then run its private
-/// simulator to the horizon.  Touches only shard s's state plus the
-/// mailboxes' reader-owned column.
+/// transfers published for it since it last ran, then run its private
+/// simulator to its horizon.  Touches only shard s's state plus the
+/// mailboxes' reader-owned column.  Skipped shards never reach here: their
+/// clock lags until their next active epoch, which is harmless because a
+/// skipped shard by definition had nothing to execute in between.
 FASTCC_SHARD_LOCAL void advance_shard(
     std::vector<std::unique_ptr<sim::Simulator>>& sims,
     std::vector<std::unique_ptr<net::PacketPool>>& pools, net::Network& network,
@@ -81,31 +95,106 @@ FASTCC_SHARD_LOCAL void advance_shard(
   const auto si = static_cast<std::size_t>(s);
   inject_inbox(*sims[si], *pools[si], network, mailboxes, s,
                shard_state[si].inbox);
-  sims[si]->run(loop.horizon - 1);
+  sims[si]->run(loop.horizon[si] - 1);
 }
 
 /// Barrier completion step: runs single-threaded while every worker is
 /// parked.  Publishes the mailboxes, decides termination (full drain or the
-/// simulated-time cap), and advances the horizon.  The only place
+/// simulated-time cap), and plans the next epoch — per-shard horizons from
+/// the path-closed lookahead matrix plus the active set.  The only place
 /// EpochLoopState is written.
-FASTCC_EPOCH_PUBLISH bool epoch_barrier(
+///
+/// The plan (DESIGN.md §9.5):
+///   t[s]  earliest instant shard s could execute anything it already
+///         knows about: its own queue front or a published inbound
+///         transfer's arrival (the mailbox release horizon).
+///   e[s]  earliest conceivable execution instant at s, folding in chains
+///         started elsewhere: min over all x of t[x] + L(x, s).  Because L
+///         is path-closed (triangle inequality), this single relaxation
+///         pass is the fixpoint.
+///   H[d]  the epoch horizon for d: min over s != d of e[s] + L(s, d) —
+///         no influence the planner cannot already see can reach d before
+///         H[d], so d may run to H[d] - 1 without synchronizing.
+/// A shard with t[d] >= H[d] has nothing to do this epoch and is skipped
+/// outright (active-set protocol); when every horizon clears an idle
+/// stretch the front advances by many legacy quanta in one barrier step
+/// (horizon jump) — the fixed-increment loop this replaces walked such
+/// stretches one minimum-lookahead step at a time.
+FASTCC_EPOCH_PUBLISH bool plan_epoch(
     std::vector<std::unique_ptr<sim::Simulator>>& sims,
-    net::ShardMailboxes& mailboxes, sim::Time lookahead,
+    net::ShardMailboxes& mailboxes, const net::ShardLookahead& la,
     sim::Time max_sim_time, EpochLoopState& loop) {
-  ++loop.epochs;
+  const int shards = la.shards();
   mailboxes.publish();
-  bool queues_empty = true;
-  for (const auto& sim : sims) {
-    queues_empty = queues_empty && sim->queue().empty();
+
+  sim::Time min_work = sim::kMaxTime;
+  for (int s = 0; s < shards; ++s) {
+    const auto si = static_cast<std::size_t>(s);
+    auto& queue = sims[si]->queue();
+    sim::Time t = queue.empty() ? sim::kMaxTime : queue.next_time();
+    t = std::min(t, mailboxes.earliest_ready(s));
+    loop.work[si] = t;
+    min_work = std::min(min_work, t);
   }
-  if (queues_empty && mailboxes.all_empty()) {
-    // Nothing pending anywhere: the simulation is fully drained and no
-    // future epoch can create work.
+  if (min_work == sim::kMaxTime) {
+    // Nothing pending anywhere — queues and mailboxes (pending side was
+    // just published) are all empty, so no future epoch can create work.
     loop.drained = true;
     return false;
   }
-  if (loop.horizon >= max_sim_time) return false;  // Drain cap.
-  loop.horizon += lookahead;
+  if (min_work >= max_sim_time) return false;  // Drain cap.
+
+  for (int d = 0; d < shards; ++d) {
+    sim::Time e = loop.work[static_cast<std::size_t>(d)];
+    for (int s = 0; s < shards; ++s) {
+      const sim::Time t = loop.work[static_cast<std::size_t>(s)];
+      const sim::Time hop = la.between(s, d);
+      if (t == sim::kMaxTime || hop == net::ShardLookahead::kUnreachable) {
+        continue;
+      }
+      e = std::min(e, t + hop);
+    }
+    loop.earliest[static_cast<std::size_t>(d)] = e;
+  }
+
+  loop.active.clear();
+  sim::Time front = sim::kMaxTime;
+  for (int d = 0; d < shards; ++d) {
+    sim::Time h = sim::kMaxTime;
+    for (int s = 0; s < shards; ++s) {
+      if (s == d) continue;
+      const sim::Time e = loop.earliest[static_cast<std::size_t>(s)];
+      const sim::Time hop = la.between(s, d);
+      if (e == sim::kMaxTime || hop == net::ShardLookahead::kUnreachable) {
+        continue;
+      }
+      h = std::min(h, e + hop);
+    }
+    if (h == sim::kMaxTime) {
+      // No chain of links can ever deliver anything to d (single-shard
+      // runs, or a region the remaining traffic cannot reach), so only the
+      // simulated-time cap bounds it.
+      h = max_sim_time;
+    }
+    loop.horizon[static_cast<std::size_t>(d)] = h;
+    if (loop.work[static_cast<std::size_t>(d)] < h) {
+      loop.active.push_back(d);
+      front = std::min(front, h);
+    } else {
+      ++loop.epochs_skipped;
+    }
+  }
+  assert(!loop.active.empty() &&
+         "a shard owning min_work is always inside its own horizon");
+
+  // A barrier step that moved the front further than the legacy fixed
+  // quantum covered an idle stretch in one jump.
+  if (loop.epochs > 0 && front > loop.front &&
+      front - loop.front > la.min_window()) {
+    ++loop.horizon_jumps;
+  }
+  loop.front = front;
+  ++loop.epochs;
   return true;
 }
 
@@ -115,7 +204,10 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
                                         int workers,
                                         ShardedRunStats* stats_out) {
   assert(!config.components.empty() || !config.preset_flows.empty());
-  const int shards = config.topo.pods;
+  const int shards =
+      config.shard_granularity == topo::ShardGranularity::kTor
+          ? config.topo.pods * config.topo.tors_per_pod
+          : config.topo.pods;
   if (workers <= 0) workers = shards;
 
   // Private event queue and packet arena per shard.  unique_ptr because
@@ -135,8 +227,9 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
   // the run is parallel.
   net::Network network(*sims[0], config.seed);
   topo::FatTree tree = build_fat_tree(network, config.topo);
-  const net::ShardMap smap =
-      topo::pod_shard_map(tree, config.topo, network.node_count());
+  const net::ShardMap smap = topo::shard_map_for(
+      tree, config.topo, network.node_count(), config.shard_granularity);
+  assert(smap.count == shards);
 
   if (variant_needs_red(config.variant)) {
     network.set_red_all(red_params_for(config.variant));
@@ -185,10 +278,11 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
 
   // Mark every egress port whose peer lives on another shard as a boundary:
   // its transmissions go through the shard's router into the mailboxes.
-  // The epoch length (lookahead) is the minimum latency any cross-shard
-  // packet experiences: a packet deposited at local time t arrives no
-  // earlier than t + propagation, so events published at the end of epoch k
-  // can only land in epoch k+1 or later.
+  // Each boundary link feeds the per-ordered-pair lookahead matrix: a
+  // packet deposited by shard s at local time t cannot reach shard d
+  // before t + L(s, d), where L starts as the minimum direct boundary-link
+  // propagation delay and is then closed over paths (seal), so the bound
+  // holds for multi-hop influence chains too.
   net::ShardMailboxes mailboxes(shards);
   std::vector<std::unique_ptr<net::ShardRouter>> routers;
   routers.reserve(static_cast<std::size_t>(shards));
@@ -196,7 +290,7 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
     routers.push_back(
         std::make_unique<net::ShardRouter>(&mailboxes, &smap, s));
   }
-  sim::Time lookahead = std::numeric_limits<sim::Time>::max();
+  net::ShardLookahead lookahead(shards);
   std::size_t boundary_ports = 0;
   for (net::NodeId id = 0; id < network.node_count(); ++id) {
     net::Node* n = network.node(id);
@@ -204,15 +298,18 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
     for (int i = 0; i < n->port_count(); ++i) {
       net::Port& port = n->port(i);
       if (!port.connected()) continue;
-      if (smap.of(port.peer()->id()) == s) continue;
+      const int d = smap.of(port.peer()->id());
+      if (d == s) continue;
       port.set_cross_shard_sink(routers[static_cast<std::size_t>(s)].get());
-      lookahead = std::min(lookahead, port.propagation_delay());
+      lookahead.observe_link(s, d, port.propagation_delay());
       ++boundary_ports;
     }
   }
+  lookahead.seal();
   assert((boundary_ports > 0 || shards == 1) &&
-         "pod sharding found no boundary link in a multi-pod tree");
-  assert(lookahead > 0 && "conservative sync needs nonzero boundary latency");
+         "sharding found no boundary link in a multi-shard tree");
+  assert((shards == 1 || lookahead.min_window() > 0) &&
+         "conservative sync needs nonzero boundary latency");
 
   // Shortest-path BFS all happens here on the calling thread; during the
   // epoch loop the cache and flow_paths map are read-only (concurrent reads
@@ -266,25 +363,29 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
   }
 
   // ---- The epoch loop ----------------------------------------------------
-  // Epoch k covers simulated [k*L, (k+1)*L).  Simulator::run(until) is
-  // inclusive of `until`, so each shard runs to horizon - 1; a bounded run
-  // leaves the clock at the bound even when the queue is idle, which keeps
-  // every shard's notion of "now" aligned at each barrier.  The worker and
+  // Each epoch, shard s runs its queue through [its clock, horizon[s]).
+  // Simulator::run(until) is inclusive of `until`, so an active shard runs
+  // to horizon[s] - 1; a bounded run leaves the clock at the bound even
+  // when the queue drained early.  Skipped shards are not touched at all —
+  // their clock catches up the next time they are active.  The worker and
   // completion-step bodies live in the named phase-annotated functions
-  // above; the lambdas only bind this run's state to them.
-  EpochLoopState loop;
-  loop.horizon = lookahead;
+  // above; the lambdas only bind this run's state to them.  plan_epoch is
+  // called once up front to seed the first active set and horizons, then
+  // once per barrier.
+  EpochLoopState loop(shards);
 
   auto shard_fn = [&](int s) {
     advance_shard(sims, pools, network, mailboxes, shard_state, loop, s);
   };
 
   auto barrier_fn = [&]() -> bool {
-    return epoch_barrier(sims, mailboxes, lookahead, config.max_sim_time,
-                         loop);
+    return plan_epoch(sims, mailboxes, lookahead, config.max_sim_time, loop);
   };
 
-  sim::EpochCoordinator::run(shards, workers, shard_fn, barrier_fn);
+  if (plan_epoch(sims, mailboxes, lookahead, config.max_sim_time, loop)) {
+    sim::EpochCoordinator::run_active(shards, workers, loop.active, shard_fn,
+                                      barrier_fn);
+  }
 
   // ---- Merge -------------------------------------------------------------
   DatacenterResult result;
@@ -302,14 +403,20 @@ DatacenterResult run_datacenter_sharded(const DatacenterConfig& config,
             });
   result.drops = network.total_drops();
   for (const auto& sim : sims) result.events_executed += sim->events_executed();
-  result.end_time = sims[0]->now();
+  // Shards stop at per-shard horizons (skipped shards' clocks lag), so the
+  // furthest clock is the run's end time.
+  for (const auto& sim : sims) result.end_time = std::max(result.end_time, sim->now());
   result.unfinished = total - completed;
 
   if (stats_out != nullptr) {
     stats_out->shards = shards;
     stats_out->workers = std::clamp(workers, 1, shards);
-    stats_out->lookahead = lookahead;
+    stats_out->lookahead = lookahead.min_window();
+    stats_out->lookahead_min = lookahead.min_window();
+    stats_out->lookahead_max = lookahead.max_window();
     stats_out->epochs = loop.epochs;
+    stats_out->epochs_skipped = loop.epochs_skipped;
+    stats_out->horizon_jumps = loop.horizon_jumps;
     stats_out->cross_shard_transfers = mailboxes.total_transfers();
     stats_out->drained = loop.drained;
     stats_out->pool_peak.clear();

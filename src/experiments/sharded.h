@@ -1,20 +1,29 @@
-// Space-parallel datacenter runs: one simulation, sharded by pod.
+// Space-parallel datacenter runs: one simulation, sharded by pod or by ToR.
 //
 // run_datacenter_sharded() executes the same experiment as run_datacenter(),
-// but partitions the fat-tree into one logical shard per pod (spines
-// round-robin across shards), gives every shard a private Simulator,
-// PacketPool, and Rng, and advances the shards in conservative barrier
-// epochs (see sim/epoch.h) on `workers` OS threads.  Packets crossing a pod
-// boundary are serialized out of the source shard's pool into per-shard-pair
-// mailboxes at the epoch barrier and re-materialized by the destination
-// shard (see net/shard.h).
+// but partitions the fat-tree into logical shards — one per pod, or one per
+// ToR+its hosts when DatacenterConfig::shard_granularity is kTor (spines and
+// pod-internal aggs dealt round-robin either way) — gives every shard a
+// private Simulator, PacketPool, and Rng, and advances the shards in
+// conservative barrier epochs (see sim/epoch.h) on `workers` OS threads.
+// Packets crossing a shard boundary are serialized out of the source shard's
+// pool into per-shard-pair mailboxes at the epoch barrier and
+// re-materialized by the destination shard (see net/shard.h).
 //
-// Determinism: the shard partition is a function of the topology alone, so
-// the result is byte-identical for every worker count — 1, 2, and 8 workers
-// produce the same flow records, drops, and event counts.  (It is *not*
-// flow-for-flow identical to run_datacenter(): per-shard Rng streams replace
-// the single network stream, so RED marking draws differ.  Each entry point
-// is deterministic in its own right.)
+// Epochs are adaptive, not fixed-length: a path-closed per-ordered-pair
+// lookahead matrix (net::ShardLookahead) plus each shard's earliest pending
+// work sizes a per-shard horizon every barrier, shards with nothing inside
+// their horizon are skipped without touching their simulator, and idle
+// stretches are crossed in one horizon jump (DESIGN.md §9.5).
+//
+// Determinism: the shard partition and every horizon/active-set decision are
+// functions of the topology and simulation state alone, so the result is
+// byte-identical for every worker count — 1, 2, 8, and 16 workers produce
+// the same flow records, drops, and event counts.  (It is *not*
+// flow-for-flow identical to run_datacenter(), and the two granularities
+// are not flow-for-flow identical to each other: per-shard Rng streams
+// replace the single network stream, so RED marking draws differ.  Each
+// configuration is deterministic in its own right.)
 #pragma once
 
 #include <cstdint>
@@ -29,8 +38,21 @@ namespace fastcc::exp {
 struct ShardedRunStats {
   int shards = 1;
   int workers = 1;              ///< After clamping to [1, shards].
-  sim::Time lookahead = 0;      ///< Epoch length (min boundary-link delay).
+  sim::Time lookahead = 0;      ///< Min boundary-link delay (legacy quantum).
+  /// Smallest / largest finite entry of the per-pair lookahead matrix
+  /// (path-closed, off-diagonal).  Equal on homogeneous-latency
+  /// topologies; a spread is the slack the adaptive horizons exploit.
+  sim::Time lookahead_min = 0;
+  sim::Time lookahead_max = 0;
   std::uint64_t epochs = 0;
+  /// Shard-epochs skipped by the active-set protocol: the shard's next
+  /// local event and inbound release horizons both sat beyond its epoch
+  /// horizon, so it was never claimed (its simulator was not touched).
+  std::uint64_t epochs_skipped = 0;
+  /// Barrier steps whose horizon front advanced by more than the legacy
+  /// quantum (`lookahead`) in one jump — idle stretches fast-forwarded
+  /// instead of being walked one lookahead at a time.
+  std::uint64_t horizon_jumps = 0;
   std::uint64_t cross_shard_transfers = 0;
   bool drained = false;  ///< All queues and mailboxes empty at the end.
   std::vector<std::uint32_t> pool_peak;         ///< Per-shard high-water mark.

@@ -19,8 +19,10 @@
 // is fixed by the topology, not by the thread schedule.
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "net/packet.h"
@@ -40,6 +42,104 @@ struct ShardMap {
     assert(id < shard.size());
     return shard[id];
   }
+};
+
+/// Ordered-pair lookahead matrix for conservative synchronization.
+///
+/// between(s, d) is the minimum latency any influence originating in shard
+/// s needs to reach shard d — seeded with the minimum propagation delay
+/// over the *direct* boundary links s -> d (observe_link) and closed under
+/// path composition by seal() (Floyd-Warshall over the shard graph), so it
+/// is a sound bound even for shards connected only through intermediaries.
+/// kUnreachable marks pairs no chain of links connects.
+///
+/// The closure matters for safety, not just precision: the epoch planner
+/// advances shard d's horizon to min over s of (earliest-work(s) +
+/// between(s, d)).  Without the closure a shard with no *direct* inbound
+/// link would see no constraint at all and run arbitrarily far ahead of a
+/// two-hop influence.  With it, between() satisfies the triangle
+/// inequality by construction, which is exactly the induction the
+/// conservative-PDES argument needs (DESIGN.md §9.5).
+///
+/// Built once from the shard map during (serial) setup, read-only during
+/// the run.
+class ShardLookahead {
+ public:
+  static constexpr sim::Time kUnreachable = sim::kMaxTime;
+
+  explicit ShardLookahead(int shards)
+      : shards_(shards),
+        delay_(static_cast<std::size_t>(shards) * shards, kUnreachable) {
+    assert(shards >= 1);
+    for (int s = 0; s < shards; ++s) delay_[index(s, s)] = 0;
+  }
+
+  /// Min-folds one boundary link's propagation delay into the (src, dst)
+  /// entry.  Call once per boundary egress port during setup.
+  void observe_link(int src, int dst, sim::Time delay) {
+    assert(delay > 0 && "conservative sync needs nonzero boundary latency");
+    sim::Time& cell = delay_[index(src, dst)];
+    cell = std::min(cell, delay);
+  }
+
+  /// Closes the matrix under path composition (all-pairs shortest paths).
+  /// Must run after the last observe_link and before the first between().
+  void seal() {
+    for (int via = 0; via < shards_; ++via) {
+      for (int s = 0; s < shards_; ++s) {
+        const sim::Time first = delay_[index(s, via)];
+        if (first == kUnreachable) continue;
+        for (int d = 0; d < shards_; ++d) {
+          const sim::Time second = delay_[index(via, d)];
+          if (second == kUnreachable) continue;
+          sim::Time& cell = delay_[index(s, d)];
+          cell = std::min(cell, first + second);
+        }
+      }
+    }
+    sealed_ = true;
+  }
+
+  /// Minimum latency from shard src to shard dst (0 on the diagonal,
+  /// kUnreachable when no path of links connects the pair).
+  sim::Time between(int src, int dst) const {
+    assert(sealed_ && "seal() the matrix before querying it");
+    return delay_[index(src, dst)];
+  }
+
+  /// Smallest / largest finite off-diagonal entry (observability; both 0
+  /// when the matrix has a single shard and therefore no pairs).
+  sim::Time min_window() const { return fold_windows().first; }
+  sim::Time max_window() const { return fold_windows().second; }
+
+  int shards() const { return shards_; }
+
+ private:
+  std::size_t index(int src, int dst) const {
+    assert(src >= 0 && src < shards_ && dst >= 0 && dst < shards_);
+    return static_cast<std::size_t>(src) * shards_ + dst;
+  }
+
+  std::pair<sim::Time, sim::Time> fold_windows() const {
+    assert(sealed_);
+    sim::Time lo = 0;
+    sim::Time hi = 0;
+    bool any = false;
+    for (int s = 0; s < shards_; ++s) {
+      for (int d = 0; d < shards_; ++d) {
+        if (s == d || delay_[index(s, d)] == kUnreachable) continue;
+        const sim::Time w = delay_[index(s, d)];
+        lo = any ? std::min(lo, w) : w;
+        hi = any ? std::max(hi, w) : w;
+        any = true;
+      }
+    }
+    return {lo, hi};
+  }
+
+  int shards_;
+  bool sealed_ = false;
+  FASTCC_SHARD_SHARED_RO std::vector<sim::Time> delay_;  ///< Row-major.
 };
 
 /// A packet serialized out of its source shard's pool, in flight between
@@ -93,6 +193,8 @@ class FASTCC_XSHARD_CHANNEL ShardMailboxes {
       : shards_(shards),
         pending_(static_cast<std::size_t>(shards) * shards),
         ready_(static_cast<std::size_t>(shards) * shards),
+        ready_release_(static_cast<std::size_t>(shards) * shards,
+                       sim::kMaxTime),
         seq_(static_cast<std::size_t>(shards) * shards, 0) {
     assert(shards >= 1);
   }
@@ -106,13 +208,17 @@ class FASTCC_XSHARD_CHANNEL ShardMailboxes {
     c.push_back(std::move(rec));
   }
 
-  /// Moves every pending cell into the ready side.  Must run while all
-  /// workers are parked at the epoch barrier (single-threaded).
+  /// Moves every pending cell into the ready side and folds each record's
+  /// arrival into the cell's release horizon.  Must run while all workers
+  /// are parked at the epoch barrier (single-threaded).
   FASTCC_EPOCH_PUBLISH void publish() {
     for (std::size_t i = 0; i < pending_.size(); ++i) {
       if (pending_[i].empty()) continue;
       auto& r = ready_[i];
-      for (auto& rec : pending_[i]) r.push_back(std::move(rec));
+      for (auto& rec : pending_[i]) {
+        ready_release_[i] = std::min(ready_release_[i], rec.arrival);
+        r.push_back(std::move(rec));
+      }
       // The publish step is the ownership handoff point: all workers are
       // parked, so draining the worker-side cell here cannot race.
       // lint:allow(epoch-phase-write -- barrier step drains worker cells while all workers are parked)
@@ -131,7 +237,32 @@ class FASTCC_XSHARD_CHANNEL ShardMailboxes {
       // of the ready side, and only after the publishing barrier.
       // lint:allow(epoch-phase-write -- reader-owned column drain after the publish barrier)
       c.clear();
+      // The drained cell holds nothing, so its release horizon resets; the
+      // next publish() re-derives it from whatever lands later.
+      // lint:allow(epoch-phase-write -- reader-owned release-horizon reset travels with the column drain)
+      ready_release_[index(src, dst)] = sim::kMaxTime;
     }
+  }
+
+  /// Release horizon of the (src, dst) ready cell: the earliest arrival
+  /// among its published-but-undrained transfers, sim::kMaxTime when the
+  /// cell is empty.  This is what lets an idle destination *skip* an epoch
+  /// without draining: retained records stay exactly as published, and the
+  /// planner consults the horizon instead of the records.
+  FASTCC_EPOCH_PUBLISH sim::Time ready_release(int src, int dst) const {
+    return ready_release_[index(src, dst)];
+  }
+
+  /// Earliest published-but-undrained arrival destined for `dst` over every
+  /// source (the destination's inbound release horizon); sim::kMaxTime when
+  /// nothing is in flight toward it.  Barrier phase: the epoch planner
+  /// reads it to size horizons and pick the active set.
+  FASTCC_EPOCH_PUBLISH sim::Time earliest_ready(int dst) const {
+    sim::Time earliest = sim::kMaxTime;
+    for (int src = 0; src < shards_; ++src) {
+      earliest = std::min(earliest, ready_release_[index(src, dst)]);
+    }
+    return earliest;
   }
 
   /// True when no transfer is pending or published anywhere.  Part of the
@@ -167,6 +298,9 @@ class FASTCC_XSHARD_CHANNEL ShardMailboxes {
   int shards_;
   FASTCC_SHARD_LOCAL std::vector<Cell> pending_;   ///< Writer-side cells.
   FASTCC_EPOCH_PUBLISH std::vector<Cell> ready_;   ///< Published cells.
+  /// Per-cell earliest arrival on the ready side (kMaxTime = empty cell).
+  /// Folded by publish(), reset by the owning reader's take_ready().
+  FASTCC_EPOCH_PUBLISH std::vector<sim::Time> ready_release_;
   FASTCC_SHARD_LOCAL std::vector<std::uint64_t> seq_;
 };
 

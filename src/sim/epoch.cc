@@ -13,28 +13,45 @@ void EpochCoordinator::run(int shards, int workers,
                            FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
                            FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn) {
   assert(shards >= 1);
+  // Every shard is active every epoch; the vector is immutable, so the
+  // active-set machinery degenerates to the original fixed iteration.
+  std::vector<int> all(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) all[static_cast<std::size_t>(s)] = s;
+  run_active(shards, workers, all, shard_fn, barrier_fn);
+}
+
+void EpochCoordinator::run_active(
+    int shards, int workers, FASTCC_EPOCH_PUBLISH const std::vector<int>& active,
+    FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
+    FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn) {
+  assert(shards >= 1);
   workers = std::clamp(workers, 1, shards);
 
   if (workers == 1) {
     while (true) {
-      for (int s = 0; s < shards; ++s) shard_fn(s);
+      // Iterate by index, not iterator: barrier_fn may rewrite the vector
+      // (it never does mid-epoch, but the serial path shares the worker
+      // code shape for auditability).
+      for (std::size_t i = 0; i < active.size(); ++i) shard_fn(active[i]);
       if (!barrier_fn()) return;
     }
   }
 
-  // Work distribution within an epoch: workers race on an atomic shard
-  // index.  Which worker runs which shard is schedule-dependent — and
-  // irrelevant, because each shard_fn(s) touches only shard s's state and
-  // runs exactly once per epoch regardless of who claims it.
+  // Work distribution within an epoch: workers race on an atomic index
+  // into the active list.  Which worker runs which shard is
+  // schedule-dependent — and irrelevant, because each shard_fn(s) touches
+  // only shard s's state and runs exactly once per epoch regardless of who
+  // claims it.  The list itself is written only inside the barrier
+  // completion step, so reading size() and entries here is race-free.
   std::atomic<int> next{0};
   std::atomic<bool> stop{false};
 
   // The completion step runs on exactly one (unspecified) thread after all
   // workers arrive and before any is released, which is precisely the
   // single-threaded window barrier_fn needs.  The barrier's release
-  // ordering then publishes everything it wrote — and everything each
-  // worker wrote during the epoch — to every worker; the relaxed atomics
-  // below piggyback on that.
+  // ordering then publishes everything it wrote — the next active set
+  // included — and everything each worker wrote during the epoch to every
+  // worker; the relaxed atomics below piggyback on that.
   auto on_epoch_complete = [&]() noexcept {
     next.store(0, std::memory_order_relaxed);
     if (!barrier_fn()) stop.store(true, std::memory_order_relaxed);
@@ -43,10 +60,11 @@ void EpochCoordinator::run(int shards, int workers,
 
   auto work = [&] {
     while (!stop.load(std::memory_order_relaxed)) {
+      const int live = static_cast<int>(active.size());
       while (true) {
-        const int s = next.fetch_add(1, std::memory_order_relaxed);
-        if (s >= shards) break;
-        shard_fn(s);
+        const int i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= live) break;
+        shard_fn(active[static_cast<std::size_t>(i)]);
       }
       sync.arrive_and_wait();
     }

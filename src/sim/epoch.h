@@ -16,6 +16,7 @@
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "util/contracts.h"
 
@@ -44,6 +45,24 @@ class EpochCoordinator {
   static void run(int shards, int workers,
                   FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
                   FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn);
+
+  /// Active-set protocol: like run(), but each epoch advances only the
+  /// shards listed in `active` — a shard whose next local event and
+  /// inbound mailboxes both sit beyond the epoch horizon is simply never
+  /// claimed, so an idle shard costs nothing (no injection scan, no
+  /// simulator touch, no cache traffic).  `active`'s initial contents
+  /// drive the first epoch; `barrier_fn` rewrites the vector inside the
+  /// barrier for the next one (writing it anywhere else is a data race —
+  /// it is FASTCC_EPOCH_PUBLISH state).  The planner must keep the set
+  /// deterministic: membership may depend only on simulation state, never
+  /// on the thread schedule, or worker counts stop being result-neutral.
+  /// `workers` is clamped to [1, max(1, shards)] where `shards` bounds the
+  /// worker pool size; an epoch with fewer active shards than workers just
+  /// parks the surplus at the barrier.
+  static void run_active(int shards, int workers,
+                         FASTCC_EPOCH_PUBLISH const std::vector<int>& active,
+                         FASTCC_SHARD_LOCAL const ShardFn& shard_fn,
+                         FASTCC_EPOCH_PUBLISH const BarrierFn& barrier_fn);
 };
 
 }  // namespace fastcc::sim

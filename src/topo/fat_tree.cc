@@ -49,10 +49,12 @@ FatTree build_fat_tree(net::Network& net, const FatTreeParams& p) {
       net::SwitchNode* agg = net.add_switch(
           "agg" + std::to_string(pod) + "_" + std::to_string(a));
       ft.aggs.push_back(agg);
-      // Agg index a talks to spine group a.
+      // Agg index a talks to spine group a.  The core tier carries its own
+      // delay so multi-RTT topologies (long inter-pod paths over a short
+      // pod-internal fabric) are one parameter away.
       for (int g = 0; g < p.spine_group_size; ++g) {
         net.connect(*agg, *ft.spines[a * p.spine_group_size + g],
-                    p.fabric_bandwidth, p.link_delay);
+                    p.fabric_bandwidth, p.core_delay());
       }
     }
     for (int t = 0; t < p.tors_per_pod; ++t) {
@@ -103,6 +105,43 @@ net::ShardMap pod_shard_map(const FatTree& tree, const FatTreeParams& p,
     m.shard[tree.hosts[h]->id()] = static_cast<std::int32_t>(h / hosts_per_pod);
   }
   return m;
+}
+
+net::ShardMap tor_shard_map(const FatTree& tree, const FatTreeParams& p,
+                            std::size_t node_count) {
+  net::ShardMap m;
+  const int shards = p.pods * p.tors_per_pod;
+  m.count = shards;
+  m.shard.assign(node_count, 0);
+  // ToR t (global, pod-major) is shard t, together with its hosts.
+  for (std::size_t t = 0; t < tree.tors.size(); ++t) {
+    m.shard[tree.tors[t]->id()] = static_cast<std::int32_t>(t);
+  }
+  for (std::size_t h = 0; h < tree.hosts.size(); ++h) {
+    m.shard[tree.hosts[h]->id()] =
+        static_cast<std::int32_t>(h / static_cast<std::size_t>(p.hosts_per_tor));
+  }
+  // Aggs stay pod-resident: agg a of pod p deals round-robin onto that
+  // pod's ToR shards [p * tors_per_pod, (p+1) * tors_per_pod), so the
+  // pod-internal switching work spreads over the pod's own shards.
+  for (std::size_t a = 0; a < tree.aggs.size(); ++a) {
+    const int pod = static_cast<int>(a) / p.aggs_per_pod;
+    const int local = static_cast<int>(a) % p.aggs_per_pod;
+    m.shard[tree.aggs[a]->id()] = static_cast<std::int32_t>(
+        pod * p.tors_per_pod + local % p.tors_per_pod);
+  }
+  // Spines deal round-robin across every shard, as in pod_shard_map.
+  for (std::size_t s = 0; s < tree.spines.size(); ++s) {
+    m.shard[tree.spines[s]->id()] =
+        static_cast<std::int32_t>(s % static_cast<std::size_t>(shards));
+  }
+  return m;
+}
+
+net::ShardMap shard_map_for(const FatTree& tree, const FatTreeParams& p,
+                            std::size_t node_count, ShardGranularity g) {
+  return g == ShardGranularity::kTor ? tor_shard_map(tree, p, node_count)
+                                     : pod_shard_map(tree, p, node_count);
 }
 
 }  // namespace fastcc::topo

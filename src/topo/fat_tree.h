@@ -25,9 +25,18 @@ struct FatTreeParams {
   sim::Rate host_bandwidth = sim::gbps(100);
   sim::Rate fabric_bandwidth = sim::gbps(400);
   sim::Time link_delay = 1 * sim::kMicrosecond;
+  /// Propagation delay of the Agg<->Spine tier; 0 means "same as
+  /// link_delay".  Raising it models multi-RTT / inter-DC cores (the
+  /// tcp-multi-rtt-bottleneck shape), where the pod-internal and core
+  /// latencies differ by an order of magnitude — exactly the case the
+  /// per-shard-pair adaptive lookahead exploits.
+  sim::Time spine_link_delay = 0;
 
   int spine_count() const { return aggs_per_pod * spine_group_size; }
   int host_count() const { return pods * tors_per_pod * hosts_per_tor; }
+  sim::Time core_delay() const {
+    return spine_link_delay > 0 ? spine_link_delay : link_delay;
+  }
 };
 
 /// The paper's full-scale topology.
@@ -64,5 +73,24 @@ FatTree build_fat_tree(net::Network& net, const FatTreeParams& params);
 /// Network::node_count() after build_fat_tree.
 net::ShardMap pod_shard_map(const FatTree& tree, const FatTreeParams& params,
                             std::size_t node_count);
+
+/// ToR-sharding assignment: one shard per ToR owning the ToR plus its
+/// hosts, so shard count scales with rack count (pods * tors_per_pod)
+/// instead of pod count.  Aggs stay inside their pod: agg a of pod p maps
+/// round-robin onto pod p's ToR shards, and spines deal round-robin across
+/// all shards — every shard owns a slice of the aggregation/core tier,
+/// exactly as pod_shard_map does at the coarser grain.
+net::ShardMap tor_shard_map(const FatTree& tree, const FatTreeParams& params,
+                            std::size_t node_count);
+
+/// Partition grain for space-parallel runs.  kPod caps shard count at the
+/// pod count (coarse shards, fewest boundary links); kTor gives one shard
+/// per rack (pods * tors_per_pod shards — the knob that lets worker count
+/// exceed pod count).
+enum class ShardGranularity { kPod, kTor };
+
+/// Dispatches to pod_shard_map or tor_shard_map.
+net::ShardMap shard_map_for(const FatTree& tree, const FatTreeParams& params,
+                            std::size_t node_count, ShardGranularity g);
 
 }  // namespace fastcc::topo

@@ -146,5 +146,63 @@ TEST(FatTreeScaled, BaseRttMatchesHandComputation) {
   EXPECT_EQ(p.base_rtt, expected);
 }
 
+TEST(TorShardMap, OneShardPerRackHostsFollowTheirTor) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  const FatTreeParams p = sharded_scaled_fat_tree();
+  const FatTree tree = build_fat_tree(network, p);
+  const net::ShardMap m = tor_shard_map(tree, p, network.node_count());
+  ASSERT_EQ(m.count, p.pods * p.tors_per_pod);  // 16 racks = 16 shards.
+
+  // Each ToR anchors its own shard and its hosts ride with it — the whole
+  // point of the finer grain is that a rack never splits.
+  for (std::size_t t = 0; t < tree.tors.size(); ++t) {
+    EXPECT_EQ(m.of(tree.tors[t]->id()), static_cast<int>(t));
+    for (int h = 0; h < p.hosts_per_tor; ++h) {
+      const std::size_t hi = t * static_cast<std::size_t>(p.hosts_per_tor) +
+                             static_cast<std::size_t>(h);
+      EXPECT_EQ(m.of(tree.hosts[hi]->id()), static_cast<int>(t));
+    }
+  }
+  // Aggs never leave their pod: agg a of pod q lands on one of pod q's own
+  // rack shards, round-robin by local index.
+  for (std::size_t a = 0; a < tree.aggs.size(); ++a) {
+    const int pod = static_cast<int>(a) / p.aggs_per_pod;
+    const int s = m.of(tree.aggs[a]->id());
+    EXPECT_GE(s, pod * p.tors_per_pod) << "agg " << a;
+    EXPECT_LT(s, (pod + 1) * p.tors_per_pod) << "agg " << a;
+  }
+  // Spines deal round-robin across all shards, as at pod grain.
+  for (std::size_t s = 0; s < tree.spines.size(); ++s) {
+    EXPECT_EQ(m.of(tree.spines[s]->id()),
+              static_cast<int>(s) % m.count);
+  }
+}
+
+TEST(TorShardMap, GranularityDispatchSelectsTheGrain) {
+  sim::Simulator simulator;
+  net::Network network(simulator);
+  const FatTreeParams p = sharded_scaled_fat_tree();
+  const FatTree tree = build_fat_tree(network, p);
+  const net::ShardMap pod =
+      shard_map_for(tree, p, network.node_count(), ShardGranularity::kPod);
+  const net::ShardMap tor =
+      shard_map_for(tree, p, network.node_count(), ShardGranularity::kTor);
+  EXPECT_EQ(pod.count, p.pods);
+  EXPECT_EQ(tor.count, p.pods * p.tors_per_pod);
+  // The finer map refines the coarser one: everything in ToR shard s lives
+  // in pod shard s / tors_per_pod, so each rack shard nests in its pod.
+  ASSERT_EQ(pod.shard.size(), tor.shard.size());
+  for (std::size_t id = 0; id < tor.shard.size(); ++id) {
+    const bool is_spine = [&] {
+      for (const auto* sp : tree.spines)
+        if (sp->id() == static_cast<net::NodeId>(id)) return true;
+      return false;
+    }();
+    if (is_spine) continue;  // Spines round-robin independently per grain.
+    EXPECT_EQ(tor.shard[id] / p.tors_per_pod, pod.shard[id]) << "node " << id;
+  }
+}
+
 }  // namespace
 }  // namespace fastcc::topo

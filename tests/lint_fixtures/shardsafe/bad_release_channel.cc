@@ -1,0 +1,39 @@
+// fastcc-shardsafe fixture: a release-horizon mailbox channel used from the
+// wrong phase.  The channel publishes a per-(src, dst) release time (the
+// earliest arrival among published-but-undrained transfers) for the epoch
+// planner; that side is barrier-phase state.  Firing cases for
+// [xshard-channel-phase] — a worker consulting the publish-side horizon
+// mid-epoch (it would race the barrier's min-fold), and the barrier
+// completion step invoking the worker-side horizon reset (the reset
+// travels with the owning reader's column drain, never with the barrier).
+
+class FASTCC_XSHARD_CHANNEL FixBadHorizonBox {
+ public:
+  FASTCC_SHARD_LOCAL void fix_reset_release(int dst) {
+    fix_release_[dst] = 0;  // expect-shardsafe: epoch-phase-write
+  }
+  FASTCC_EPOCH_PUBLISH int fix_release_of(int dst) { return fix_release_[dst]; }
+  FASTCC_EPOCH_PUBLISH int fix_earliest_release() {
+    int lo = fix_release_[0];
+    if (fix_release_[1] < lo) lo = fix_release_[1];
+    return lo;
+  }
+
+ private:
+  FASTCC_EPOCH_PUBLISH int fix_release_[2] = {0, 0};
+};
+
+struct FixBadHorizonPlanner {
+  FASTCC_SHARD_LOCAL int fix_worker_peeks_horizon(FixBadHorizonBox& box) {
+    return box.fix_earliest_release();  // expect-shardsafe: xshard-channel-phase
+  }
+
+  FASTCC_SHARD_LOCAL int fix_worker_sizes_own_epoch(FixBadHorizonBox& box,
+                                                    int dst) {
+    return box.fix_release_of(dst);  // expect-shardsafe: xshard-channel-phase
+  }
+
+  FASTCC_EPOCH_PUBLISH void fix_barrier_resets(FixBadHorizonBox& box) {
+    box.fix_reset_release(0);  // expect-shardsafe: xshard-channel-phase
+  }
+};

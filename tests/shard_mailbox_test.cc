@@ -157,5 +157,86 @@ TEST(ShardMailboxes, TotalTransfersCountsAllPairs) {
   EXPECT_EQ(mb.total_transfers(), 4u);
 }
 
+TEST(ShardLookahead, ClosureBoundsIndirectPairs) {
+  // 0 -> 1 (2us), 1 -> 2 (3us), 2 -> 0 (10us); no direct 0 -> 2 link.
+  // Without the seal() path closure, shard 2 would see no constraint from
+  // shard 0 at all and run ahead of a two-hop influence; with it,
+  // between(0, 2) is the shortest path sum and the matrix satisfies the
+  // triangle inequality the conservative-horizon argument needs.
+  ShardLookahead la(3);
+  la.observe_link(0, 1, 2000);
+  la.observe_link(1, 2, 3000);
+  la.observe_link(2, 0, 10000);
+  la.seal();
+  EXPECT_EQ(la.between(0, 0), 0);
+  EXPECT_EQ(la.between(0, 1), 2000);
+  EXPECT_EQ(la.between(0, 2), 5000);   // 0 -> 1 -> 2
+  EXPECT_EQ(la.between(1, 0), 13000);  // 1 -> 2 -> 0
+  EXPECT_EQ(la.min_window(), 2000);
+  EXPECT_EQ(la.max_window(), 13000);   // the 1 -> 0 back-path is longest
+}
+
+TEST(ShardLookahead, KeepsMinimumParallelLinkAndMarksUnreachable) {
+  ShardLookahead la(3);
+  la.observe_link(0, 1, 5000);
+  la.observe_link(0, 1, 1000);  // parallel link: min wins
+  la.observe_link(1, 0, 4000);
+  la.seal();
+  EXPECT_EQ(la.between(0, 1), 1000);
+  EXPECT_EQ(la.between(1, 0), 4000);
+  // Shard 2 has no links at all: unreachable both ways, and the window
+  // fold must skip those pairs rather than poison min/max.
+  EXPECT_EQ(la.between(0, 2), ShardLookahead::kUnreachable);
+  EXPECT_EQ(la.between(2, 0), ShardLookahead::kUnreachable);
+  EXPECT_EQ(la.min_window(), 1000);
+  EXPECT_EQ(la.max_window(), 4000);  // the folded-away 5000 must not surface
+}
+
+TEST(ShardMailboxes, ReleaseHorizonTracksEarliestUndrainedArrival) {
+  // The planner sizes epoch horizons from ready_release()/earliest_ready()
+  // instead of peeking at records; the horizon must therefore be exactly
+  // the min arrival over the published-but-undrained cells — and nothing
+  // pending may leak into it before the barrier.
+  ShardMailboxes mb(3);
+  EXPECT_EQ(mb.earliest_ready(1), sim::kMaxTime);
+  mb.put(0, 1, make_rec(1, 500));
+  mb.put(2, 1, make_rec(2, 300));
+  EXPECT_EQ(mb.earliest_ready(1), sim::kMaxTime)
+      << "pending deposits visible to the planner before publish";
+  mb.publish();
+  EXPECT_EQ(mb.ready_release(0, 1), 500);
+  EXPECT_EQ(mb.ready_release(2, 1), 300);
+  EXPECT_EQ(mb.ready_release(1, 1), sim::kMaxTime);  // empty cell
+  EXPECT_EQ(mb.earliest_ready(1), 300);
+  EXPECT_EQ(mb.earliest_ready(0), sim::kMaxTime);
+}
+
+TEST(ShardMailboxes, ReleaseHorizonSurvivesSkippedEpochs) {
+  // An idle destination skips epochs without draining: its records stay
+  // published, the horizon carries over publish() no-ops, and later
+  // transfers min-fold into it.  Only the owning reader's take_ready()
+  // resets the cell.
+  ShardMailboxes mb(2);
+  mb.put(0, 1, make_rec(1, 700));
+  mb.publish();
+  EXPECT_EQ(mb.earliest_ready(1), 700);
+  mb.publish();  // skipped epoch: nothing pending, horizon intact
+  EXPECT_EQ(mb.earliest_ready(1), 700);
+  mb.put(0, 1, make_rec(2, 400));
+  mb.publish();
+  EXPECT_EQ(mb.earliest_ready(1), 400);
+  EXPECT_FALSE(mb.all_empty()) << "retained records must still count";
+
+  std::vector<CrossShardPacket> inbox;
+  mb.take_ready(1, inbox);
+  ASSERT_EQ(inbox.size(), 2u);
+  EXPECT_EQ(flows_of(inbox), (std::vector<FlowId>{1, 2}));
+  EXPECT_EQ(mb.earliest_ready(1), sim::kMaxTime) << "drain must reset";
+  EXPECT_TRUE(mb.all_empty());
+  mb.put(0, 1, make_rec(3, 900));
+  mb.publish();
+  EXPECT_EQ(mb.earliest_ready(1), 900) << "horizon re-derives after reuse";
+}
+
 }  // namespace
 }  // namespace fastcc::net

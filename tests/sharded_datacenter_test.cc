@@ -136,5 +136,143 @@ TEST(ShardedDatacenter, EpochBarrierUnderContention) {
   expect_identical(a, b);
 }
 
+// The same invariance contract at rack grain: 16 shards (8 pods x 2 ToRs),
+// so worker counts beyond the pod count finally buy parallelism.  1 worker
+// is the serial path, 2 and 8 force multiple shards per worker, 16 is one
+// shard per worker.
+TEST(ShardedDatacenter, TorThreadCountInvariance) {
+  DatacenterConfig c = sharded_config();
+  c.shard_granularity = topo::ShardGranularity::kTor;
+  ShardedRunStats stats;
+  const DatacenterResult r1 = run_datacenter_sharded(c, 1, &stats);
+  EXPECT_EQ(stats.shards, 16);
+  const DatacenterResult r2 = run_datacenter_sharded(c, 2);
+  const DatacenterResult r8 = run_datacenter_sharded(c, 8);
+  const DatacenterResult r16 = run_datacenter_sharded(c, 16);
+  ASSERT_GT(r1.flows.size(), 50u);
+  expect_identical(r1, r2);
+  expect_identical(r1, r8);
+  expect_identical(r1, r16);
+}
+
+// Rack-grain leak audit: twice the boundary surface of the pod partition
+// (every agg uplink is now a shard edge), so this is the stress case for
+// the handoff path.  Also pins the new observability: the lookahead matrix
+// bounds, and skip/jump counters that must at least be self-consistent.
+TEST(ShardedDatacenter, TorGranularityDrainsLeakFree) {
+  DatacenterConfig c = sharded_config();
+  c.shard_granularity = topo::ShardGranularity::kTor;
+  ShardedRunStats stats;
+  const DatacenterResult r = run_datacenter_sharded(c, 8, &stats);
+  EXPECT_EQ(r.unfinished, 0u);
+  EXPECT_TRUE(stats.drained);
+  EXPECT_EQ(stats.shards, 16);
+  // Homogeneous 1 us links: every pair of the closed matrix collapses to
+  // small multiples of the base delay, and the legacy quantum is its min.
+  EXPECT_EQ(stats.lookahead, 1 * sim::kMicrosecond);
+  EXPECT_EQ(stats.lookahead_min, 1 * sim::kMicrosecond);
+  EXPECT_GE(stats.lookahead_max, stats.lookahead_min);
+  EXPECT_GT(stats.cross_shard_transfers, 1000u);
+  EXPECT_GT(stats.epochs, 10u);
+  ASSERT_EQ(stats.pool_live_at_end.size(), 16u);
+  for (int s = 0; s < 16; ++s) {
+    EXPECT_EQ(stats.pool_live_at_end[s], 0u) << "shard " << s;
+  }
+}
+
+// Grain changes shard Rng assignment, so pod- and rack-sharded runs are not
+// flow-for-flow identical — but they simulate the same physics on the same
+// flow population, so aggregate congestion must agree (the same contract
+// MatchesSerialFlowPopulation pins between serial and sharded).
+TEST(ShardedDatacenter, TorMatchesPodStatistically) {
+  DatacenterConfig c = sharded_config();
+  const DatacenterResult pod = run_datacenter_sharded(c, 8);
+  c.shard_granularity = topo::ShardGranularity::kTor;
+  const DatacenterResult tor = run_datacenter_sharded(c, 8);
+  EXPECT_EQ(pod.unfinished, 0u);
+  EXPECT_EQ(tor.unfinished, 0u);
+  ASSERT_EQ(pod.flows.size(), tor.flows.size());
+  double pod_mean = 0.0;
+  double tor_mean = 0.0;
+  for (std::size_t i = 0; i < pod.flows.size(); ++i) {
+    EXPECT_EQ(pod.flows[i].id, tor.flows[i].id);
+    EXPECT_EQ(pod.flows[i].size_bytes, tor.flows[i].size_bytes);
+    EXPECT_EQ(pod.flows[i].start_time, tor.flows[i].start_time);
+    EXPECT_EQ(pod.flows[i].ideal_fct, tor.flows[i].ideal_fct);
+    pod_mean += pod.flows[i].slowdown();
+    tor_mean += tor.flows[i].slowdown();
+  }
+  pod_mean /= static_cast<double>(pod.flows.size());
+  tor_mean /= static_cast<double>(tor.flows.size());
+  EXPECT_NEAR(tor_mean, pod_mean, 0.25 * pod_mean);
+}
+
+// Heterogeneous-latency core (the multi-RTT shape the matrix exists for):
+// a 4 us spine tier over a 1 us pod fabric.  The per-pair matrix must keep
+// the tight 1 us bound for rack neighbors while far pairs relax — and the
+// planner decisions derived from it must stay schedule-independent.
+TEST(ShardedDatacenter, AdaptiveLookaheadHeterogeneousDelays) {
+  DatacenterConfig c = sharded_config();
+  c.shard_granularity = topo::ShardGranularity::kTor;
+  c.topo.spine_link_delay = 4 * sim::kMicrosecond;
+  ShardedRunStats s1;
+  ShardedRunStats s8;
+  const DatacenterResult r1 = run_datacenter_sharded(c, 1, &s1);
+  const DatacenterResult r8 = run_datacenter_sharded(c, 8, &s8);
+  ASSERT_GT(r1.flows.size(), 50u);
+  expect_identical(r1, r8);
+  // Same-pod rack pairs still touch over 1 us agg links; cross-pod pairs
+  // must pay the 4 us core at least once.
+  EXPECT_EQ(s1.lookahead_min, 1 * sim::kMicrosecond);
+  EXPECT_GT(s1.lookahead_max, s1.lookahead_min);
+  // Every planner decision is derived from simulation state only, so the
+  // epoch ledger itself is part of the determinism contract.
+  EXPECT_EQ(s1.epochs, s8.epochs);
+  EXPECT_EQ(s1.epochs_skipped, s8.epochs_skipped);
+  EXPECT_EQ(s1.horizon_jumps, s8.horizon_jumps);
+  // Adaptive horizons must beat the legacy fixed-quantum schedule, which
+  // would have paid one barrier per lookahead_min over the whole run.
+  EXPECT_LT(s1.epochs,
+            static_cast<std::uint64_t>(r1.end_time / s1.lookahead_min));
+}
+
+// Idle-shard fast-forward: two rack-local bursts separated by long silent
+// gaps, confined to pods 0 and 1.  Racks in pods 2-7 have no work at any
+// point — the active-set protocol must skip them wholesale — and the gaps
+// must be crossed in horizon jumps instead of empty 1 us epochs.
+TEST(ShardedDatacenter, IdleShardFastForward) {
+  DatacenterConfig c = sharded_config();
+  c.shard_granularity = topo::ShardGranularity::kTor;
+  c.components.clear();
+  // Host h lives in rack h / 4; hosts 0-7 are pod 0, 8-15 pod 1.
+  c.preset_flows = {
+      {1, 0, 5, 50000, 0},                          // pod 0, rack 0 -> 1
+      {2, 8, 1, 50000, 0},                          // pod 1 -> pod 0
+      {3, 2, 12, 20000, 300 * sim::kMicrosecond},   // burst 2 after a gap
+      {4, 9, 3, 20000, 300 * sim::kMicrosecond},
+      {5, 4, 13, 20000, 600 * sim::kMicrosecond},   // burst 3
+  };
+  ShardedRunStats s1;
+  ShardedRunStats s4;
+  const DatacenterResult r1 = run_datacenter_sharded(c, 1, &s1);
+  const DatacenterResult r4 = run_datacenter_sharded(c, 4, &s4);
+  expect_identical(r1, r4);
+  EXPECT_EQ(r1.unfinished, 0u);
+  EXPECT_EQ(r1.flows.size(), 5u);
+  EXPECT_TRUE(s1.drained);
+  // The skip and jump ledgers are deterministic state, not heuristics.
+  EXPECT_EQ(s1.epochs, s4.epochs);
+  EXPECT_EQ(s1.epochs_skipped, s4.epochs_skipped);
+  EXPECT_EQ(s1.horizon_jumps, s4.horizon_jumps);
+  // 14 of 16 racks are idle the whole run; the planner must be skipping
+  // far more shard-epochs than it executes.
+  EXPECT_GT(s1.epochs_skipped, s1.epochs);
+  // One jump per inter-burst gap at minimum.
+  EXPECT_GE(s1.horizon_jumps, 2u);
+  for (int s = 0; s < 16; ++s) {
+    EXPECT_EQ(s1.pool_live_at_end[s], 0u) << "shard " << s;
+  }
+}
+
 }  // namespace
 }  // namespace fastcc::exp
